@@ -1,0 +1,33 @@
+//! # pp-baselines
+//!
+//! The traditional models the paper compares the RNN against (§5):
+//!
+//! * [`percentage::PercentageModel`] — the smoothed per-user access
+//!   percentage (§5.1), the paper's "universal baseline";
+//! * [`logreg::LogisticRegression`] — L2-regularised logistic regression on
+//!   the engineered features of `pp-features` (§5.3);
+//! * [`gbdt::Gbdt`] — gradient-boosted decision trees with a logistic
+//!   objective, histogram split finding, and the exhaustive depth search of
+//!   §5.4.
+//!
+//! # Examples
+//!
+//! ```
+//! use pp_baselines::percentage::PercentageModel;
+//!
+//! let model = PercentageModel::new(0.1);
+//! // A user with 3 prior sessions, 2 of them accesses:
+//! let p = model.predict(3, 2);
+//! assert!((p - 2.1 / 4.0).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod gbdt;
+pub mod logreg;
+pub mod percentage;
+
+pub use gbdt::{Gbdt, GbdtConfig, Tree};
+pub use logreg::{LogRegConfig, LogisticRegression};
+pub use percentage::PercentageModel;

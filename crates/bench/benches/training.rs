@@ -1,0 +1,83 @@
+//! Criterion benchmarks for RNN training throughput (§7.1): per-user
+//! parallel gradient accumulation versus sequential evaluation of the same
+//! minibatches, and GBDT training for comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pp_baselines::{Gbdt, GbdtConfig};
+use pp_data::schema::DatasetKind;
+use pp_data::synth::{MobileTabConfig, MobileTabGenerator, SyntheticGenerator};
+use pp_features::baseline::{build_session_examples, BaselineFeaturizer, ElapsedEncoding, FeatureSet};
+use pp_rnn::{RnnModel, RnnModelConfig, RnnTrainer, TaskKind, TrainerConfig};
+use std::hint::black_box;
+
+fn bench_rnn_training_parallelism(c: &mut Criterion) {
+    let ds = MobileTabGenerator::new(MobileTabConfig {
+        num_users: 40,
+        num_days: 10,
+        ..Default::default()
+    })
+    .generate();
+    let idx: Vec<usize> = (0..ds.users.len()).collect();
+
+    let mut group = c.benchmark_group("rnn_training_one_epoch");
+    group.sample_size(10);
+    for (name, parallel) in [("sequential", false), ("parallel_per_user", true)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut model = RnnModel::new(
+                    DatasetKind::MobileTab,
+                    TaskKind::PerSession,
+                    RnnModelConfig {
+                        hidden_dim: 32,
+                        mlp_width: 32,
+                        ..Default::default()
+                    },
+                    0,
+                );
+                let trainer = RnnTrainer::new(TrainerConfig {
+                    epochs: 1,
+                    train_last_days: 8,
+                    parallel,
+                    ..Default::default()
+                });
+                black_box(trainer.train(&mut model, &ds, &idx))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_gbdt_training(c: &mut Criterion) {
+    let ds = MobileTabGenerator::new(MobileTabConfig {
+        num_users: 40,
+        num_days: 10,
+        ..Default::default()
+    })
+    .generate();
+    let featurizer = BaselineFeaturizer::new(ds.kind, FeatureSet::Full, ElapsedEncoding::Scalar);
+    let idx: Vec<usize> = (0..ds.users.len()).collect();
+    let examples = build_session_examples(&ds, &idx, &featurizer, Some(7));
+
+    let mut group = c.benchmark_group("gbdt_training");
+    group.sample_size(10);
+    group.bench_function("gbdt_30_trees_depth_6", |b| {
+        b.iter(|| {
+            black_box(Gbdt::train(
+                &examples,
+                GbdtConfig {
+                    num_trees: 30,
+                    max_depth: 6,
+                    ..Default::default()
+                },
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_rnn_training_parallelism, bench_gbdt_training
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Regenerates **Table 2** (dataset summary statistics), **Figure 1**
+//! (CDF of per-user access rates), **Figure 5** (distribution of MPU
+//! session counts) and the Δt percentiles motivating the `T(Δt)` transform.
+
+use pp_bench::{print_series, section, Scale};
+use pp_data::stats::{access_rate_cdf, DatasetSummary, DeltaTSummary, SessionCountHistogram};
+use pp_data::synth::{MobileTabGenerator, MpuGenerator, SyntheticGenerator, TimeshiftGenerator};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("scale: {scale:?}");
+    let datasets = vec![
+        (
+            "MobileTab",
+            MobileTabGenerator::new(scale.mobiletab()).generate(),
+        ),
+        (
+            "Timeshift",
+            TimeshiftGenerator::new(scale.timeshift()).generate(),
+        ),
+        ("MPU", MpuGenerator::new(scale.mpu()).generate()),
+    ];
+
+    section("Table 2: dataset summary");
+    println!(
+        "{:<12}{:>15}{:>12}{:>10}{:>18}{:>16}",
+        "DATASET", "POSITIVE RATE", "SESSIONS", "USERS", "SESSIONS/USER", "ZERO-ACCESS %"
+    );
+    for (name, ds) in &datasets {
+        let s = DatasetSummary::compute(*name, ds);
+        println!(
+            "{:<12}{:>14.1}%{:>12}{:>10}{:>18.1}{:>15.1}%",
+            s.name,
+            s.positive_rate * 100.0,
+            s.num_sessions,
+            s.num_users,
+            s.mean_sessions_per_user,
+            s.zero_access_user_fraction * 100.0
+        );
+    }
+
+    section("Figure 1: CDF of per-user access rates");
+    for (name, ds) in &datasets {
+        let cdf = access_rate_cdf(ds, 11);
+        print_series(name, &cdf.xs, &cdf.ys);
+    }
+
+    section("Figure 5: distribution of per-user MPU session counts");
+    let mpu = &datasets[2].1;
+    let hist = SessionCountHistogram::compute(mpu, 20, 20_000.min(4 * 20 * scale.days as usize));
+    println!("{:<14}{:>10}", "BUCKET START", "USERS");
+    for (edge, count) in hist.bucket_edges.iter().zip(&hist.counts) {
+        println!("{edge:<14}{count:>10}");
+    }
+
+    section("Inter-session gap (Δt) percentiles, seconds");
+    println!("{:<12}{:>10}{:>10}{:>10}{:>10}", "DATASET", "P10", "P50", "P90", "P99");
+    for (name, ds) in &datasets {
+        if let Some(d) = DeltaTSummary::compute(ds) {
+            println!("{name:<12}{:>10}{:>10}{:>10}{:>10}", d.p10, d.p50, d.p90, d.p99);
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Regenerates **Table 3** (PR-AUC of PercentageBased / LR / GBDT / RNN on
+//! all three datasets), **Table 4** (recall at 50% precision) and
+//! **Figure 6** (the MobileTab precision-recall curves).
+//!
+//! Set `PP_DATASETS=mobiletab,timeshift,mpu` to restrict the run.
+
+use pp_bench::{section, Scale};
+use pp_core::experiments::{run_kfold_experiment, run_offline_experiment, ModelKind};
+use pp_core::ModelEvaluation;
+use pp_data::synth::{MobileTabGenerator, MpuGenerator, SyntheticGenerator, TimeshiftGenerator};
+use pp_metrics::report::{format_comparison_table, relative_improvement_percent, EvalReport};
+
+fn main() {
+    let scale = Scale::from_env();
+    let config = scale.experiment();
+    println!("scale: {scale:?}");
+    let selected = std::env::var("PP_DATASETS").unwrap_or_else(|_| "mobiletab,timeshift,mpu".into());
+
+    let mut reports: Vec<EvalReport> = Vec::new();
+    let mut mobiletab_evals: Vec<ModelEvaluation> = Vec::new();
+
+    if selected.contains("mobiletab") {
+        section("MobileTab (90/10 user split, last 7 days)");
+        let ds = MobileTabGenerator::new(scale.mobiletab()).generate();
+        let evals = run_offline_experiment(&ds, &ModelKind::ALL, &config);
+        for e in &evals {
+            println!(
+                "{:<18} PR-AUC {:.3}  recall@50%P {:.3}  logloss {:.3}",
+                e.model.to_string(),
+                e.report.pr_auc,
+                e.report.recall_at_50_precision,
+                e.report.log_loss
+            );
+            reports.push(e.report.clone());
+        }
+        mobiletab_evals = evals;
+    }
+
+    if selected.contains("timeshift") {
+        section("Timeshift (90/10 user split, last 7 peak windows)");
+        let ds = TimeshiftGenerator::new(scale.timeshift()).generate();
+        let evals = run_offline_experiment(&ds, &ModelKind::ALL, &config);
+        for e in &evals {
+            println!(
+                "{:<18} PR-AUC {:.3}  recall@50%P {:.3}  logloss {:.3}",
+                e.model.to_string(),
+                e.report.pr_auc,
+                e.report.recall_at_50_precision,
+                e.report.log_loss
+            );
+            reports.push(e.report.clone());
+        }
+    }
+
+    if selected.contains("mpu") {
+        section("MPU (4-fold cross-validation, last 7 days)");
+        let ds = MpuGenerator::new(scale.mpu()).generate();
+        let evals = run_kfold_experiment(&ds, &ModelKind::ALL, &config, 4);
+        for e in &evals {
+            println!(
+                "{:<18} PR-AUC {:.3}  recall@50%P {:.3}  logloss {:.3}",
+                e.model.to_string(),
+                e.report.pr_auc,
+                e.report.recall_at_50_precision,
+                e.report.log_loss
+            );
+            reports.push(e.report.clone());
+        }
+    }
+
+    section("Table 3: PR-AUC");
+    println!("{}", format_comparison_table(&reports, |r| r.pr_auc, ""));
+    if let (Some(gbdt), Some(rnn)) = (
+        reports.iter().find(|r| r.model == "GBDT" && r.dataset == "MobileTab"),
+        reports.iter().find(|r| r.model == "RNN" && r.dataset == "MobileTab"),
+    ) {
+        println!(
+            "MobileTab RNN improvement over GBDT: {:.2}% (paper: 3.11%)",
+            relative_improvement_percent(gbdt.pr_auc, rnn.pr_auc)
+        );
+    }
+
+    section("Table 4: recall @ 50% precision");
+    println!(
+        "{}",
+        format_comparison_table(&reports, |r| r.recall_at_50_precision, "")
+    );
+
+    if !mobiletab_evals.is_empty() {
+        section("Figure 6: MobileTab precision-recall curves (11-point sample)");
+        for e in &mobiletab_evals {
+            let curve = e.pr_curve();
+            let pts = curve.points();
+            println!("{}:", e.model);
+            println!("  {:>8}  {:>10}  {:>10}", "RECALL", "PRECISION", "THRESH");
+            let step = (pts.len() / 10).max(1);
+            for p in pts.iter().step_by(step) {
+                println!(
+                    "  {:>8.3}  {:>10.3}  {:>10.4}",
+                    p.recall, p.precision, p.threshold
+                );
+            }
+        }
+    }
+}

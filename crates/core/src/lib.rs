@@ -1,0 +1,49 @@
+//! # pp-core
+//!
+//! The umbrella crate of the *Predictive Precompute with Recurrent Neural
+//! Networks* reproduction: end-to-end experiment drivers tying together the
+//! dataset generators (`pp-data`), feature engineering (`pp-features`), the
+//! baseline models (`pp-baselines`), the recurrent model (`pp-rnn`), the
+//! metrics (`pp-metrics`) and the serving simulation (`pp-serving`).
+//!
+//! * [`experiments`] — the §8 offline evaluation protocol: 90/10 user
+//!   splits, last-7-days evaluation, k-fold cross-validation for MPU, and
+//!   the Table 5 feature ablation;
+//! * [`policy`] — threshold selection for a target precision, the operating
+//!   point used by the production deployment in §9.
+//!
+//! # Examples
+//!
+//! Run a miniature version of the paper's Table 3 on a synthetic MobileTab
+//! dataset:
+//!
+//! ```
+//! use pp_core::experiments::{run_offline_experiment, ModelKind, OfflineExperimentConfig};
+//! use pp_data::synth::{MobileTabConfig, MobileTabGenerator, SyntheticGenerator};
+//! use pp_rnn::RnnModelConfig;
+//!
+//! let dataset = MobileTabGenerator::new(MobileTabConfig {
+//!     num_users: 30,
+//!     num_days: 10,
+//!     ..Default::default()
+//! })
+//! .generate();
+//! let config = OfflineExperimentConfig {
+//!     rnn_model: RnnModelConfig::tiny(),
+//!     ..OfflineExperimentConfig::fast()
+//! };
+//! let evals = run_offline_experiment(&dataset, &[ModelKind::PercentageBased], &config);
+//! assert_eq!(evals.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod policy;
+
+pub use experiments::{
+    evaluate_model_on_split, run_feature_ablation, run_kfold_experiment, run_offline_experiment,
+    ModelEvaluation, ModelKind, OfflineExperimentConfig,
+};
+pub use policy::PrecomputePolicy;

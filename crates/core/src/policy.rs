@@ -1,0 +1,129 @@
+//! Precompute decision policies.
+//!
+//! A trained model produces an access probability; the *policy* turns it
+//! into a precompute decision. The paper always uses a fixed threshold
+//! "chosen to target a precision of X%" on held-out data (§8: constrain
+//! precision, maximize recall; §9: 60% precision for the MobileTab launch).
+
+use pp_metrics::pr::PrCurve;
+use serde::{Deserialize, Serialize};
+
+/// A thresholded precompute policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrecomputePolicy {
+    threshold: f64,
+    target_precision: Option<f64>,
+}
+
+impl PrecomputePolicy {
+    /// Creates a policy with an explicit probability threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= threshold <= 1`.
+    pub fn with_threshold(threshold: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&threshold),
+            "threshold must be a probability"
+        );
+        Self {
+            threshold,
+            target_precision: None,
+        }
+    }
+
+    /// Calibrates a policy on held-out scores so that precision stays at or
+    /// above `target_precision` while recall is maximized. Returns `None`
+    /// when no threshold achieves the target (the caller should then either
+    /// lower the target or disable precompute).
+    pub fn for_target_precision(
+        scores: &[f64],
+        labels: &[bool],
+        target_precision: f64,
+    ) -> Option<Self> {
+        let curve = PrCurve::compute(scores, labels);
+        curve
+            .threshold_for_precision(target_precision)
+            .map(|threshold| Self {
+                threshold,
+                target_precision: Some(target_precision),
+            })
+    }
+
+    /// The probability threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The precision target this policy was calibrated for, if any.
+    pub fn target_precision(&self) -> Option<f64> {
+        self.target_precision
+    }
+
+    /// Whether to precompute for a predicted access probability.
+    pub fn should_precompute(&self, probability: f64) -> bool {
+        probability >= self.threshold
+    }
+
+    /// Fraction of the given scores that would trigger a precompute —
+    /// a direct proxy for the precompute traffic the policy generates.
+    pub fn trigger_rate(&self, scores: &[f64]) -> f64 {
+        if scores.is_empty() {
+            0.0
+        } else {
+            scores.iter().filter(|&&s| self.should_precompute(s)).count() as f64
+                / scores.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_policy_basics() {
+        let p = PrecomputePolicy::with_threshold(0.6);
+        assert!(p.should_precompute(0.6));
+        assert!(p.should_precompute(0.9));
+        assert!(!p.should_precompute(0.59));
+        assert_eq!(p.target_precision(), None);
+        assert!((p.trigger_rate(&[0.1, 0.7, 0.9]) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(p.trigger_rate(&[]), 0.0);
+    }
+
+    #[test]
+    fn calibration_meets_precision_target() {
+        // Scores that rank positives mostly on top.
+        let scores = [0.95, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1];
+        let labels = [true, true, false, true, false, false, true, false, false, false];
+        let policy = PrecomputePolicy::for_target_precision(&scores, &labels, 0.75).unwrap();
+        // Check the achieved precision on the same data.
+        let (mut tp, mut fp) = (0, 0);
+        for (&s, &l) in scores.iter().zip(&labels) {
+            if policy.should_precompute(s) {
+                if l {
+                    tp += 1;
+                } else {
+                    fp += 1;
+                }
+            }
+        }
+        let precision = tp as f64 / (tp + fp) as f64;
+        assert!(precision >= 0.75, "achieved precision {precision}");
+        assert_eq!(policy.target_precision(), Some(0.75));
+    }
+
+    #[test]
+    fn impossible_target_returns_none() {
+        let scores = [0.9, 0.8];
+        let labels = [false, false];
+        assert!(PrecomputePolicy::for_target_precision(&scores, &labels, 0.5).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be a probability")]
+    fn invalid_threshold_panics() {
+        let _ = PrecomputePolicy::with_threshold(1.5);
+    }
+}

@@ -1,0 +1,49 @@
+//! # pp-data
+//!
+//! Dataset schema and synthetic workload generators for the reproduction of
+//! *Predictive Precompute with Recurrent Neural Networks* (MLSys 2020).
+//!
+//! The crate provides:
+//!
+//! * [`schema`] — the core data model: [`schema::Session`],
+//!   [`schema::Context`], [`schema::UserHistory`], [`schema::Dataset`];
+//! * [`synth`] — deterministic generators standing in for the paper's three
+//!   datasets (MobileTab, Timeshift, MPU), calibrated to their published
+//!   summary statistics;
+//! * [`stats`] — dataset summaries (Table 2), access-rate CDFs (Figure 1),
+//!   session-count histograms (Figure 5);
+//! * [`split`] — user-level train/test splits and k-fold cross-validation
+//!   exactly as prescribed in §7–8 of the paper.
+//!
+//! # Examples
+//!
+//! ```
+//! use pp_data::synth::{MobileTabConfig, MobileTabGenerator, SyntheticGenerator};
+//! use pp_data::split::UserSplit;
+//!
+//! let config = MobileTabConfig { num_users: 50, ..Default::default() };
+//! let dataset = MobileTabGenerator::new(config).generate();
+//! assert_eq!(dataset.num_users(), 50);
+//!
+//! let split = UserSplit::ninety_ten(&dataset, 0);
+//! assert!(split.is_partition(&dataset));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod schema;
+pub mod split;
+pub mod stats;
+pub mod synth;
+
+pub use schema::{
+    Context, Dataset, DatasetKind, ScreenState, Session, Tab, UserHistory, UserId,
+    SECONDS_PER_DAY, SECONDS_PER_HOUR,
+};
+pub use split::{KFoldSplit, UserSplit};
+pub use stats::{access_rate_cdf, DatasetSummary, EmpiricalCdf, SessionCountHistogram};
+pub use synth::{
+    MobileTabConfig, MobileTabGenerator, MpuConfig, MpuGenerator, SyntheticGenerator,
+    TimeshiftConfig, TimeshiftGenerator,
+};

@@ -1,0 +1,167 @@
+//! Low-level encoding primitives shared by all featurizers: one-hot
+//! encoding, categorical hashing, and the paper's log-bucketing transform
+//! for elapsed times.
+
+/// Number of buckets used by the elapsed-time transform (paper §5.3:
+/// "bucketize time elapsed features into 50 buckets").
+pub const TIME_BUCKETS: usize = 50;
+
+/// Modulus used when hashing high-cardinality categorical values
+/// (paper §5.2: "hashing and taking the remainder modulo 97").
+pub const HASH_MODULUS: usize = 97;
+
+/// Appends a one-hot encoding of `index` over `size` categories to `out`.
+///
+/// # Panics
+///
+/// Panics if `index >= size`.
+pub fn push_one_hot(out: &mut Vec<f32>, index: usize, size: usize) {
+    assert!(index < size, "one-hot index {index} out of range {size}");
+    let start = out.len();
+    out.resize(start + size, 0.0);
+    out[start + index] = 1.0;
+}
+
+/// One-hot encodes `index` over `size` categories into a fresh vector.
+///
+/// # Panics
+///
+/// Panics if `index >= size`.
+pub fn one_hot(index: usize, size: usize) -> Vec<f32> {
+    let mut v = Vec::with_capacity(size);
+    push_one_hot(&mut v, index, size);
+    v
+}
+
+/// The paper's elapsed-time bucketing transform: `⌊(50/15)·ln(t)⌋`, clamped
+/// to `[0, TIME_BUCKETS)`. `t` is a duration in seconds; non-positive
+/// durations map to bucket 0. The largest representable duration (30 days ≈
+/// e^14.76 s) lands just below bucket 49, matching the paper's remark.
+pub fn time_bucket(elapsed_secs: i64) -> usize {
+    if elapsed_secs <= 1 {
+        return 0;
+    }
+    let b = (50.0 / 15.0 * (elapsed_secs as f64).ln()).floor();
+    (b.max(0.0) as usize).min(TIME_BUCKETS - 1)
+}
+
+/// Continuous form of the elapsed-time transform used where a scalar is more
+/// convenient than a one-hot (e.g. GBDT inputs): `ln(1 + t)` normalized by
+/// `ln(1 + 30 days)` so the output lies in `[0, ~1]`.
+pub fn log_elapsed_normalized(elapsed_secs: i64) -> f32 {
+    let t = elapsed_secs.max(0) as f64;
+    let max = (30.0 * 86_400.0_f64 + 1.0).ln();
+    ((t + 1.0).ln() / max) as f32
+}
+
+/// Hashes an arbitrary string-like categorical value into `[0, HASH_MODULUS)`
+/// with a stable FNV-1a hash, mirroring the paper's "hash then mod 97" step
+/// for high-cardinality categoricals (tab names, application names).
+pub fn hash_category(value: &str) -> usize {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in value.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    (hash % HASH_MODULUS as u64) as usize
+}
+
+/// Buckets an unread/notification badge count (0–99) into a small number of
+/// ranges. Returns an index in `[0, UNREAD_BUCKETS)`.
+pub fn unread_bucket(count: u8) -> usize {
+    match count {
+        0 => 0,
+        1 => 1,
+        2..=3 => 2,
+        4..=6 => 3,
+        7..=10 => 4,
+        11..=20 => 5,
+        21..=50 => 6,
+        _ => 7,
+    }
+}
+
+/// Number of buckets produced by [`unread_bucket`].
+pub const UNREAD_BUCKETS: usize = 8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_hot_basics() {
+        assert_eq!(one_hot(0, 3), vec![1.0, 0.0, 0.0]);
+        assert_eq!(one_hot(2, 3), vec![0.0, 0.0, 1.0]);
+        let mut v = vec![9.0];
+        push_one_hot(&mut v, 1, 2);
+        assert_eq!(v, vec![9.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn one_hot_out_of_range_panics() {
+        let _ = one_hot(3, 3);
+    }
+
+    #[test]
+    fn time_bucket_monotone_and_bounded() {
+        assert_eq!(time_bucket(0), 0);
+        assert_eq!(time_bucket(-5), 0);
+        assert_eq!(time_bucket(1), 0);
+        let mut prev = 0;
+        for exp in 1..20 {
+            let t = 1i64 << exp;
+            let b = time_bucket(t);
+            assert!(b >= prev, "bucket must be monotone in elapsed time");
+            assert!(b < TIME_BUCKETS);
+            prev = b;
+        }
+        // 30 days should land in the top couple of buckets but not overflow.
+        let b30 = time_bucket(30 * 86_400);
+        assert!(b30 >= 47 && b30 < TIME_BUCKETS, "30d bucket = {b30}");
+        // A year still clamps to the last bucket.
+        assert_eq!(time_bucket(365 * 86_400), TIME_BUCKETS - 1);
+    }
+
+    #[test]
+    fn time_bucket_matches_paper_formula() {
+        // ⌊(50/15)·ln(3600)⌋ = ⌊27.3⌋ = 27 for one hour.
+        assert_eq!(time_bucket(3_600), 27);
+        // One day: ⌊(50/15)·ln(86400)⌋ = ⌊37.9⌋ = 37.
+        assert_eq!(time_bucket(86_400), 37);
+    }
+
+    #[test]
+    fn log_elapsed_normalized_range() {
+        assert_eq!(log_elapsed_normalized(0), 0.0);
+        assert!(log_elapsed_normalized(30 * 86_400) <= 1.001);
+        assert!(log_elapsed_normalized(60) < log_elapsed_normalized(3_600));
+    }
+
+    #[test]
+    fn hash_category_stable_and_in_range() {
+        let a = hash_category("Home");
+        assert_eq!(a, hash_category("Home"));
+        assert!(a < HASH_MODULUS);
+        assert_ne!(hash_category("Home"), hash_category("Messages"));
+    }
+
+    #[test]
+    fn unread_buckets_cover_range() {
+        assert_eq!(unread_bucket(0), 0);
+        assert_eq!(unread_bucket(1), 1);
+        assert_eq!(unread_bucket(3), 2);
+        assert_eq!(unread_bucket(5), 3);
+        assert_eq!(unread_bucket(9), 4);
+        assert_eq!(unread_bucket(15), 5);
+        assert_eq!(unread_bucket(40), 6);
+        assert_eq!(unread_bucket(99), 7);
+        for c in 0u8..=99 {
+            assert!(unread_bucket(c) < UNREAD_BUCKETS);
+        }
+        // Monotone.
+        for c in 0u8..99 {
+            assert!(unread_bucket(c) <= unread_bucket(c + 1));
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # pp-metrics
+//!
+//! Evaluation metrics for predictive precompute, matching the paper's
+//! offline evaluation protocol (§8):
+//!
+//! * [`pr`] — precision-recall curves, PR-AUC (Table 3, Figure 6), recall at
+//!   a fixed precision (Table 4), and threshold selection for a target
+//!   precision (the production operating point of §9);
+//! * [`classification`] — log loss (the training objective), Brier score,
+//!   ROC-AUC, and calibration diagnostics;
+//! * [`report`] — per-model/per-dataset evaluation summaries and the
+//!   fixed-width comparison tables used by the benchmark harness.
+//!
+//! # Examples
+//!
+//! ```
+//! use pp_metrics::pr::PrCurve;
+//!
+//! let scores = [0.9, 0.8, 0.4, 0.2];
+//! let labels = [true, false, true, false];
+//! let curve = PrCurve::compute(&scores, &labels);
+//! assert!(curve.auc() > 0.5);
+//! let recall = curve.recall_at_precision(0.5);
+//! assert!(recall > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod classification;
+pub mod pr;
+pub mod report;
+
+pub use classification::{brier_score, log_loss, roc_auc, Calibration, CalibrationBin};
+pub use pr::{pr_auc, recall_at_precision, PrCurve, PrPoint};
+pub use report::{format_comparison_table, relative_improvement_percent, EvalReport};

@@ -1,0 +1,125 @@
+//! Weight initialization schemes.
+
+use crate::tensor::Tensor;
+use rand::Rng;
+use rand_distr::{Distribution, Normal, Uniform};
+
+/// Initialization scheme for a weight matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Init {
+    /// All zeros (used for biases).
+    Zeros,
+    /// Uniform in `[-bound, bound]`.
+    Uniform {
+        /// Half-width of the sampling interval.
+        bound: f32,
+    },
+    /// Gaussian with the given standard deviation.
+    Normal {
+        /// Standard deviation of the Gaussian.
+        std: f32,
+    },
+    /// Xavier/Glorot uniform: `bound = sqrt(6 / (fan_in + fan_out))`.
+    XavierUniform,
+    /// Kaiming/He normal for ReLU layers: `std = sqrt(2 / fan_in)`.
+    KaimingNormal,
+    /// PyTorch's default for recurrent cells: uniform in
+    /// `[-1/sqrt(hidden), 1/sqrt(hidden)]` where `hidden = fan_out`.
+    RecurrentUniform,
+}
+
+impl Init {
+    /// Materializes a `rows × cols` tensor using this scheme. `rows` is
+    /// treated as `fan_in` and `cols` as `fan_out`.
+    pub fn build<R: Rng + ?Sized>(self, rows: usize, cols: usize, rng: &mut R) -> Tensor {
+        match self {
+            Init::Zeros => Tensor::zeros(rows, cols),
+            Init::Uniform { bound } => sample(
+                rows,
+                cols,
+                Uniform::new_inclusive(-bound as f64, bound as f64),
+                rng,
+            ),
+            Init::Normal { std } => sample(
+                rows,
+                cols,
+                Normal::new(0.0, std as f64).expect("std must be finite and non-negative"),
+                rng,
+            ),
+            Init::XavierUniform => {
+                let bound = (6.0 / (rows + cols) as f64).sqrt();
+                sample(rows, cols, Uniform::new_inclusive(-bound, bound), rng)
+            }
+            Init::KaimingNormal => {
+                let std = (2.0 / rows.max(1) as f32).sqrt();
+                sample(
+                    rows,
+                    cols,
+                    Normal::new(0.0, std as f64).expect("finite std"),
+                    rng,
+                )
+            }
+            Init::RecurrentUniform => {
+                let bound = 1.0 / (cols.max(1) as f64).sqrt();
+                sample(rows, cols, Uniform::new_inclusive(-bound, bound), rng)
+            }
+        }
+    }
+}
+
+fn sample<D, R>(rows: usize, cols: usize, dist: D, rng: &mut R) -> Tensor
+where
+    D: Distribution<f64>,
+    R: Rng + ?Sized,
+{
+    let data: Vec<f32> = (0..rows * cols).map(|_| dist.sample(rng) as f32).collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_init() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = Init::Zeros.build(3, 4, &mut rng);
+        assert!(t.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn uniform_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = Init::Uniform { bound: 0.5 }.build(10, 10, &mut rng);
+        assert!(t.as_slice().iter().all(|&x| x.abs() <= 0.5));
+        // Not all identical.
+        assert!(t.as_slice().iter().any(|&x| x != t.as_slice()[0]));
+    }
+
+    #[test]
+    fn xavier_bound_shrinks_with_size() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let small = Init::XavierUniform.build(4, 4, &mut rng);
+        let large = Init::XavierUniform.build(400, 400, &mut rng);
+        assert!(small.max_abs() > large.max_abs());
+        assert!(large.max_abs() <= (6.0_f32 / 800.0).sqrt() + 1e-6);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let mut rng_b = StdRng::seed_from_u64(7);
+        let a = Init::KaimingNormal.build(5, 5, &mut rng_a);
+        let b = Init::KaimingNormal.build(5, 5, &mut rng_b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn recurrent_uniform_bound() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Init::RecurrentUniform.build(8, 64, &mut rng);
+        assert!(t.max_abs() <= 1.0 / 8.0 + 1e-6);
+    }
+}

@@ -1,0 +1,506 @@
+//! The paper's recurrent model (§6.2, Figure 3): a recurrent cell
+//! (`RNN_update`) advancing a per-user hidden state, and a prediction head
+//! (`RNN_predict`) combining the latest available hidden state with the
+//! current context through a latent-cross interaction and a one-hidden-layer
+//! MLP.
+//!
+//! The two halves are deliberately separate — the serving architecture (§9)
+//! runs them in different places: `RNN_predict` at session start on the
+//! request path, `RNN_update` asynchronously once the session outcome is
+//! known.
+
+use pp_data::schema::DatasetKind;
+use pp_features::rnn_input::RnnFeaturizer;
+use pp_nn::graph::{stable_sigmoid, Graph, NodeId};
+use pp_nn::layers::{CellKind, Dropout, GruCell, Linear, LstmCell, TanhCell};
+use pp_nn::params::ParamStore;
+use pp_nn::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Which prediction task the model is built for. The update path is
+/// identical; the prediction input differs (§3.2.1 / Eq. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// Predict an access within the session that is starting now
+    /// (MobileTab, MPU).
+    PerSession,
+    /// Predict an access within an upcoming peak window using history alone
+    /// (Timeshift).
+    Timeshifted,
+}
+
+/// Hyper-parameters of the recurrent model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RnnModelConfig {
+    /// Recurrent cell type (§6.2 evaluates tanh, GRU, LSTM; GRU wins).
+    pub cell: CellKind,
+    /// Hidden-state dimensionality (paper: 128).
+    pub hidden_dim: usize,
+    /// Width of the MLP hidden layer (paper: 128).
+    pub mlp_width: usize,
+    /// Dropout probability inside the MLP (paper: 0.2).
+    pub dropout: f32,
+    /// Whether to apply the latent-cross interaction
+    /// `h' = h ⊙ (1 + L(f))` before the MLP (paper §6.2).
+    pub latent_cross: bool,
+}
+
+impl Default for RnnModelConfig {
+    fn default() -> Self {
+        Self {
+            cell: CellKind::Gru,
+            hidden_dim: 128,
+            mlp_width: 128,
+            dropout: 0.2,
+            latent_cross: true,
+        }
+    }
+}
+
+impl RnnModelConfig {
+    /// A small configuration suitable for unit tests and quick examples.
+    pub fn tiny() -> Self {
+        Self {
+            hidden_dim: 16,
+            mlp_width: 16,
+            ..Default::default()
+        }
+    }
+}
+
+/// Internal enum holding the chosen recurrent cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Cell {
+    Tanh(TanhCell),
+    Gru(GruCell),
+    Lstm(LstmCell),
+}
+
+/// The recurrent predictive-precompute model.
+///
+/// The model owns its [`ParamStore`]; training code reads and writes the
+/// store through [`RnnModel::params`] / [`RnnModel::params_mut`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RnnModel {
+    params: ParamStore,
+    cell: Cell,
+    latent: Option<Linear>,
+    mlp_hidden: Linear,
+    mlp_out: Linear,
+    dropout: Dropout,
+    config: RnnModelConfig,
+    kind: DatasetKind,
+    task: TaskKind,
+    featurizer: RnnFeaturizer,
+}
+
+impl RnnModel {
+    /// Builds a model for a dataset family and task with freshly initialized
+    /// parameters.
+    pub fn new(kind: DatasetKind, task: TaskKind, config: RnnModelConfig, seed: u64) -> Self {
+        let featurizer = RnnFeaturizer::new(kind);
+        let update_dims = featurizer.update_input_dims();
+        let predict_dims = match task {
+            TaskKind::PerSession => featurizer.predict_input_dims(),
+            TaskKind::Timeshifted => featurizer.timeshift_predict_dims(),
+        };
+        let mut params = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cell = match config.cell {
+            CellKind::Tanh => Cell::Tanh(TanhCell::new(
+                "cell",
+                update_dims,
+                config.hidden_dim,
+                &mut params,
+                &mut rng,
+            )),
+            CellKind::Gru => Cell::Gru(GruCell::new(
+                "cell",
+                update_dims,
+                config.hidden_dim,
+                &mut params,
+                &mut rng,
+            )),
+            CellKind::Lstm => Cell::Lstm(LstmCell::new(
+                "cell",
+                update_dims,
+                config.hidden_dim,
+                &mut params,
+                &mut rng,
+            )),
+        };
+        let latent = config.latent_cross.then(|| {
+            Linear::new(
+                "latent_cross",
+                predict_dims,
+                config.hidden_dim,
+                &mut params,
+                &mut rng,
+            )
+        });
+        let mlp_hidden = Linear::new(
+            "mlp.hidden",
+            config.hidden_dim + predict_dims,
+            config.mlp_width,
+            &mut params,
+            &mut rng,
+        );
+        let mlp_out = Linear::new("mlp.out", config.mlp_width, 1, &mut params, &mut rng);
+        let dropout = Dropout::new(config.dropout);
+        Self {
+            params,
+            cell,
+            latent,
+            mlp_hidden,
+            mlp_out,
+            dropout,
+            config,
+            kind,
+            task,
+            featurizer,
+        }
+    }
+
+    /// The model's hyper-parameters.
+    pub fn config(&self) -> RnnModelConfig {
+        self.config
+    }
+
+    /// Dataset family the model was built for.
+    pub fn kind(&self) -> DatasetKind {
+        self.kind
+    }
+
+    /// Prediction task the model was built for.
+    pub fn task(&self) -> TaskKind {
+        self.task
+    }
+
+    /// The featurizer producing this model's inputs.
+    pub fn featurizer(&self) -> &RnnFeaturizer {
+        &self.featurizer
+    }
+
+    /// Immutable access to the parameter store.
+    pub fn params(&self) -> &ParamStore {
+        &self.params
+    }
+
+    /// Mutable access to the parameter store (used by optimizers).
+    pub fn params_mut(&mut self) -> &mut ParamStore {
+        &mut self.params
+    }
+
+    /// Total number of trainable scalars.
+    pub fn num_parameters(&self) -> usize {
+        self.params.num_scalars()
+    }
+
+    /// Dimensionality of the *stored* per-user state: `hidden_dim` for
+    /// tanh/GRU cells, `2 × hidden_dim` for LSTM (hidden + cell state).
+    pub fn state_dim(&self) -> usize {
+        match &self.cell {
+            Cell::Lstm(_) => 2 * self.config.hidden_dim,
+            _ => self.config.hidden_dim,
+        }
+    }
+
+    /// Size in bytes of one stored hidden state (`f32` per dimension) —
+    /// 512 bytes for the paper's 128-dimensional GRU.
+    pub fn state_bytes(&self) -> usize {
+        self.state_dim() * std::mem::size_of::<f32>()
+    }
+
+    /// The all-zero initial state `h_0`.
+    pub fn initial_state(&self) -> Vec<f32> {
+        vec![0.0; self.state_dim()]
+    }
+
+    /// Dimensionality of the prediction input vector.
+    pub fn predict_input_dims(&self) -> usize {
+        match self.task {
+            TaskKind::PerSession => self.featurizer.predict_input_dims(),
+            TaskKind::Timeshifted => self.featurizer.timeshift_predict_dims(),
+        }
+    }
+
+    /// Dimensionality of the update input vector.
+    pub fn update_input_dims(&self) -> usize {
+        self.featurizer.update_input_dims()
+    }
+
+    /// Builds the `RNN_update` step in an autograd graph: consumes the state
+    /// node and an update-input node, returns the next state node.
+    pub fn update_node(
+        &self,
+        graph: &mut Graph,
+        state: NodeId,
+        update_input: NodeId,
+    ) -> NodeId {
+        match &self.cell {
+            Cell::Tanh(c) => c.forward(graph, &self.params, update_input, state),
+            Cell::Gru(c) => c.forward(graph, &self.params, update_input, state),
+            Cell::Lstm(c) => c.forward(graph, &self.params, update_input, state),
+        }
+    }
+
+    /// Builds the `RNN_predict` head in an autograd graph, returning the
+    /// *logit* node (apply a sigmoid for the probability). `training`
+    /// controls dropout.
+    pub fn predict_logit_node<R: Rng + ?Sized>(
+        &self,
+        graph: &mut Graph,
+        state: NodeId,
+        predict_input: NodeId,
+        training: bool,
+        rng: &mut R,
+    ) -> NodeId {
+        // For LSTM, only the hidden half of the state feeds the head.
+        let h = match &self.cell {
+            Cell::Lstm(_) => graph.slice_cols(state, 0, self.config.hidden_dim),
+            _ => state,
+        };
+        let crossed = if let Some(latent) = &self.latent {
+            // h' = h ⊙ (1 + L(f))
+            let l = latent.forward(graph, &self.params, predict_input);
+            let one_plus = graph.add_scalar(l, 1.0);
+            graph.mul(h, one_plus)
+        } else {
+            h
+        };
+        let joined = graph.concat_cols(crossed, predict_input);
+        let hidden = self.mlp_hidden.forward(graph, &self.params, joined);
+        let dropped = self.dropout.forward(graph, hidden, training, rng);
+        let activated = graph.relu(dropped);
+        self.mlp_out.forward(graph, &self.params, activated)
+    }
+
+    /// Inference: advances a stored state given an update input, without
+    /// building gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input lengths do not match the model.
+    pub fn advance_state(&self, state: &[f32], update_input: &[f32]) -> Vec<f32> {
+        assert_eq!(state.len(), self.state_dim(), "state length mismatch");
+        assert_eq!(
+            update_input.len(),
+            self.update_input_dims(),
+            "update input length mismatch"
+        );
+        let mut graph = Graph::new();
+        let s = graph.constant(Tensor::from_row(state));
+        let x = graph.constant(Tensor::from_row(update_input));
+        let next = self.update_node(&mut graph, s, x);
+        graph.value(next).as_slice().to_vec()
+    }
+
+    /// Inference: predicted access probability from a stored state and a
+    /// prediction input, without building gradients (dropout disabled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input lengths do not match the model.
+    pub fn predict_proba(&self, state: &[f32], predict_input: &[f32]) -> f64 {
+        assert_eq!(state.len(), self.state_dim(), "state length mismatch");
+        assert_eq!(
+            predict_input.len(),
+            self.predict_input_dims(),
+            "predict input length mismatch"
+        );
+        let mut graph = Graph::new();
+        let s = graph.constant(Tensor::from_row(state));
+        let x = graph.constant(Tensor::from_row(predict_input));
+        // Dropout disabled ⇒ the RNG is never used.
+        let mut rng = StdRng::seed_from_u64(0);
+        let logit = self.predict_logit_node(&mut graph, s, x, false, &mut rng);
+        stable_sigmoid(graph.value(logit).at(0, 0)) as f64
+    }
+
+    /// Approximate FLOPs of one `RNN_update` call (one session), used by the
+    /// serving cost model.
+    pub fn update_flops(&self) -> u64 {
+        match &self.cell {
+            Cell::Tanh(c) => c.flops(),
+            Cell::Gru(c) => c.flops(),
+            Cell::Lstm(c) => c.flops(),
+        }
+    }
+
+    /// Approximate FLOPs of one `RNN_predict` call (one prediction).
+    pub fn predict_flops(&self) -> u64 {
+        let mut flops = self.mlp_hidden.flops() + self.mlp_out.flops();
+        if let Some(latent) = &self.latent {
+            flops += latent.flops() + 2 * self.config.hidden_dim as u64;
+        }
+        flops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_data::schema::{Context, Tab};
+
+    fn model(cell: CellKind) -> RnnModel {
+        RnnModel::new(
+            DatasetKind::MobileTab,
+            TaskKind::PerSession,
+            RnnModelConfig {
+                cell,
+                ..RnnModelConfig::tiny()
+            },
+            7,
+        )
+    }
+
+    fn ctx() -> Context {
+        Context::MobileTab {
+            unread_count: 3,
+            active_tab: Tab::Home,
+        }
+    }
+
+    #[test]
+    fn dimensions_are_consistent() {
+        let m = model(CellKind::Gru);
+        assert_eq!(m.state_dim(), 16);
+        assert_eq!(m.state_bytes(), 64);
+        assert_eq!(m.initial_state().len(), 16);
+        assert_eq!(m.predict_input_dims(), m.featurizer().predict_input_dims());
+        assert_eq!(m.update_input_dims(), m.featurizer().update_input_dims());
+        assert!(m.num_parameters() > 1_000);
+        // Paper-scale model: 128-dim hidden state is 512 bytes.
+        let full = RnnModel::new(
+            DatasetKind::MobileTab,
+            TaskKind::PerSession,
+            RnnModelConfig::default(),
+            0,
+        );
+        assert_eq!(full.state_bytes(), 512);
+    }
+
+    #[test]
+    fn lstm_state_is_twice_hidden() {
+        let m = model(CellKind::Lstm);
+        assert_eq!(m.state_dim(), 32);
+    }
+
+    #[test]
+    fn advance_state_changes_state_and_is_deterministic() {
+        let m = model(CellKind::Gru);
+        let f = m.featurizer();
+        let update = f.update_input(1_000, &ctx(), 600, true);
+        let h0 = m.initial_state();
+        let h1 = m.advance_state(&h0, &update);
+        let h1b = m.advance_state(&h0, &update);
+        assert_eq!(h1, h1b);
+        assert_ne!(h0, h1);
+        assert_eq!(h1.len(), m.state_dim());
+        assert!(h1.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn access_flag_influences_the_next_state() {
+        let m = model(CellKind::Gru);
+        let f = m.featurizer();
+        let h0 = m.initial_state();
+        let with_access = m.advance_state(&h0, &f.update_input(1_000, &ctx(), 600, true));
+        let without_access = m.advance_state(&h0, &f.update_input(1_000, &ctx(), 600, false));
+        assert_ne!(with_access, without_access);
+    }
+
+    #[test]
+    fn predict_proba_in_unit_interval_for_all_cells() {
+        for cell in [CellKind::Tanh, CellKind::Gru, CellKind::Lstm] {
+            let m = model(cell);
+            let f = m.featurizer();
+            let h = m.initial_state();
+            let p = m.predict_proba(&h, &f.predict_input(2_000, &ctx(), 1_000));
+            assert!((0.0..=1.0).contains(&p), "cell {cell}: p = {p}");
+        }
+    }
+
+    #[test]
+    fn prediction_depends_on_hidden_state() {
+        let m = model(CellKind::Gru);
+        let f = m.featurizer();
+        let predict_input = f.predict_input(5_000, &ctx(), 1_000);
+        let h0 = m.initial_state();
+        let mut h = h0.clone();
+        for i in 0..5 {
+            h = m.advance_state(&h, &f.update_input(1_000 * i, &ctx(), 600, true));
+        }
+        let p_cold = m.predict_proba(&h0, &predict_input);
+        let p_warm = m.predict_proba(&h, &predict_input);
+        assert_ne!(p_cold, p_warm);
+    }
+
+    #[test]
+    fn timeshifted_task_uses_smaller_predict_input() {
+        let m = RnnModel::new(
+            DatasetKind::Timeshift,
+            TaskKind::Timeshifted,
+            RnnModelConfig::tiny(),
+            0,
+        );
+        assert_eq!(m.predict_input_dims(), m.featurizer().timeshift_predict_dims());
+        let p = m.predict_proba(
+            &m.initial_state(),
+            &m.featurizer().timeshift_predict_input(3_600),
+        );
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn latent_cross_changes_the_architecture() {
+        let base = RnnModelConfig::tiny();
+        let without = RnnModel::new(
+            DatasetKind::MobileTab,
+            TaskKind::PerSession,
+            RnnModelConfig {
+                latent_cross: false,
+                ..base
+            },
+            3,
+        );
+        let with = RnnModel::new(DatasetKind::MobileTab, TaskKind::PerSession, base, 3);
+        assert!(with.num_parameters() > without.num_parameters());
+        assert!(with.predict_flops() > without.predict_flops());
+    }
+
+    #[test]
+    fn flop_counts_positive_and_scale_with_hidden_dim() {
+        let small = model(CellKind::Gru);
+        let large = RnnModel::new(
+            DatasetKind::MobileTab,
+            TaskKind::PerSession,
+            RnnModelConfig::default(),
+            0,
+        );
+        assert!(small.update_flops() > 0);
+        assert!(large.update_flops() > small.update_flops());
+        assert!(large.predict_flops() > small.predict_flops());
+    }
+
+    #[test]
+    #[should_panic(expected = "state length mismatch")]
+    fn wrong_state_length_panics() {
+        let m = model(CellKind::Gru);
+        let f = m.featurizer();
+        let _ = m.predict_proba(&[0.0; 3], &f.predict_input(0, &ctx(), 0));
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_predictions() {
+        let m = model(CellKind::Gru);
+        let f = m.featurizer();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: RnnModel = serde_json::from_str(&json).unwrap();
+        let h = m.initial_state();
+        let input = f.predict_input(2_000, &ctx(), 500);
+        assert!((m.predict_proba(&h, &input) - back.predict_proba(&h, &input)).abs() < 1e-6);
+    }
+}

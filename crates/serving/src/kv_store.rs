@@ -1,0 +1,292 @@
+//! An in-process key-value store standing in for the "real-time data store
+//! similar to Redis" of §9, with the instrumentation the serving cost model
+//! needs: request counts and bytes moved, per logical table.
+//!
+//! Two tables matter for the paper's comparison:
+//!
+//! * the **hidden-state store** used by the RNN path — exactly one key per
+//!   user holding a 512-byte (128 × f32) vector;
+//! * the **aggregation store** used by the GBDT path — one key per
+//!   (user, context-subset value, window) cell, which the paper notes can be
+//!   thousands of keys per user and ~20 lookups per prediction.
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Running counters for one store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreStats {
+    /// Number of `get` calls (hits and misses).
+    pub reads: u64,
+    /// Number of `put` calls.
+    pub writes: u64,
+    /// Number of `get` calls that found a value.
+    pub hits: u64,
+    /// Total bytes returned by successful reads.
+    pub bytes_read: u64,
+    /// Total bytes written.
+    pub bytes_written: u64,
+}
+
+impl StoreStats {
+    /// Read hit rate (1.0 when there were no reads).
+    pub fn hit_rate(&self) -> f64 {
+        if self.reads == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.reads as f64
+        }
+    }
+}
+
+/// A thread-safe, instrumented, in-memory key-value store.
+#[derive(Debug, Default)]
+pub struct KvStore {
+    map: RwLock<HashMap<String, Bytes>>,
+    stats: RwLock<StoreStats>,
+}
+
+impl KvStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores `value` under `key`, replacing any previous value.
+    pub fn put(&self, key: impl Into<String>, value: Bytes) {
+        let mut stats = self.stats.write();
+        stats.writes += 1;
+        stats.bytes_written += value.len() as u64;
+        drop(stats);
+        self.map.write().insert(key.into(), value);
+    }
+
+    /// Fetches the value under `key`, if any.
+    pub fn get(&self, key: &str) -> Option<Bytes> {
+        let value = self.map.read().get(key).cloned();
+        let mut stats = self.stats.write();
+        stats.reads += 1;
+        if let Some(v) = &value {
+            stats.hits += 1;
+            stats.bytes_read += v.len() as u64;
+        }
+        value
+    }
+
+    /// Removes the value under `key`, returning it if present.
+    pub fn remove(&self, key: &str) -> Option<Bytes> {
+        self.map.write().remove(key)
+    }
+
+    /// Number of keys currently stored.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// Returns `true` when the store holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+
+    /// Total bytes currently stored across all values.
+    pub fn stored_bytes(&self) -> u64 {
+        self.map.read().values().map(|v| v.len() as u64).sum()
+    }
+
+    /// Snapshot of the running counters.
+    pub fn stats(&self) -> StoreStats {
+        *self.stats.read()
+    }
+
+    /// Resets the running counters (stored data is kept).
+    pub fn reset_stats(&self) {
+        *self.stats.write() = StoreStats::default();
+    }
+}
+
+/// Serializes an `f32` hidden state into bytes (little-endian).
+pub fn encode_state_f32(state: &[f32]) -> Bytes {
+    let mut out = Vec::with_capacity(state.len() * 4);
+    for v in state {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    Bytes::from(out)
+}
+
+/// Deserializes an `f32` hidden state from bytes produced by
+/// [`encode_state_f32`].
+///
+/// # Panics
+///
+/// Panics if the byte length is not a multiple of 4.
+pub fn decode_state_f32(bytes: &Bytes) -> Vec<f32> {
+    assert!(bytes.len() % 4 == 0, "state byte length must be a multiple of 4");
+    bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+/// A uniformly quantized hidden state: one byte per dimension plus a scale
+/// and offset (§9: "neural network quantization methods can also be applied
+/// to store single bytes instead of floating-point numbers").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedState {
+    /// Per-dimension codes.
+    pub codes: Vec<u8>,
+    /// Dequantized value = `offset + code × scale`.
+    pub scale: f32,
+    /// See `scale`.
+    pub offset: f32,
+}
+
+impl QuantizedState {
+    /// Quantizes a state vector to 8 bits per dimension.
+    pub fn quantize(state: &[f32]) -> Self {
+        let min = state.iter().cloned().fold(f32::INFINITY, f32::min);
+        let max = state.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let (min, max) = if state.is_empty() || !min.is_finite() {
+            (0.0, 0.0)
+        } else {
+            (min, max)
+        };
+        let scale = if max > min { (max - min) / 255.0 } else { 1.0 };
+        let codes = state
+            .iter()
+            .map(|&v| (((v - min) / scale).round().clamp(0.0, 255.0)) as u8)
+            .collect();
+        Self {
+            codes,
+            scale,
+            offset: min,
+        }
+    }
+
+    /// Reconstructs the (lossy) state vector.
+    pub fn dequantize(&self) -> Vec<f32> {
+        self.codes
+            .iter()
+            .map(|&c| self.offset + c as f32 * self.scale)
+            .collect()
+    }
+
+    /// Serialized size in bytes (codes + scale + offset).
+    pub fn encoded_bytes(&self) -> usize {
+        self.codes.len() + 8
+    }
+
+    /// Encodes into bytes for the key-value store.
+    pub fn encode(&self) -> Bytes {
+        let mut out = Vec::with_capacity(self.encoded_bytes());
+        out.extend_from_slice(&self.scale.to_le_bytes());
+        out.extend_from_slice(&self.offset.to_le_bytes());
+        out.extend_from_slice(&self.codes);
+        Bytes::from(out)
+    }
+
+    /// Decodes from bytes produced by [`QuantizedState::encode`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is shorter than the 8-byte header.
+    pub fn decode(bytes: &Bytes) -> Self {
+        assert!(bytes.len() >= 8, "quantized state too short");
+        let scale = f32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+        let offset = f32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+        Self {
+            codes: bytes[8..].to_vec(),
+            scale,
+            offset,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip_and_stats() {
+        let store = KvStore::new();
+        assert!(store.is_empty());
+        store.put("user-1", Bytes::from_static(b"hello"));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get("user-1").unwrap(), Bytes::from_static(b"hello"));
+        assert!(store.get("user-2").is_none());
+        let stats = store.stats();
+        assert_eq!(stats.reads, 2);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.writes, 1);
+        assert_eq!(stats.bytes_written, 5);
+        assert_eq!(stats.bytes_read, 5);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        store.reset_stats();
+        assert_eq!(store.stats().reads, 0);
+        assert_eq!(store.stored_bytes(), 5);
+        assert_eq!(store.remove("user-1").unwrap(), Bytes::from_static(b"hello"));
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn f32_state_roundtrip() {
+        let state = vec![0.5, -1.25, 3.75, 0.0];
+        let bytes = encode_state_f32(&state);
+        assert_eq!(bytes.len(), 16);
+        assert_eq!(decode_state_f32(&bytes), state);
+    }
+
+    #[test]
+    fn paper_scale_state_is_512_bytes() {
+        let state = vec![0.1f32; 128];
+        assert_eq!(encode_state_f32(&state).len(), 512);
+    }
+
+    #[test]
+    fn quantization_is_close_and_4x_smaller() {
+        let state: Vec<f32> = (0..128).map(|i| (i as f32 / 13.0).sin()).collect();
+        let q = QuantizedState::quantize(&state);
+        let back = q.dequantize();
+        assert_eq!(back.len(), state.len());
+        let max_err = state
+            .iter()
+            .zip(&back)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_err < 0.01, "quantization error too large: {max_err}");
+        assert!(q.encoded_bytes() * 3 < encode_state_f32(&state).len());
+        // Encode/decode roundtrip.
+        let decoded = QuantizedState::decode(&q.encode());
+        assert_eq!(decoded, q);
+    }
+
+    #[test]
+    fn quantization_handles_constant_and_empty_vectors() {
+        let q = QuantizedState::quantize(&[1.5; 10]);
+        assert!(q.dequantize().iter().all(|&v| (v - 1.5).abs() < 1e-6));
+        let q = QuantizedState::quantize(&[]);
+        assert!(q.dequantize().is_empty());
+    }
+
+    #[test]
+    fn store_is_shareable_across_threads() {
+        let store = std::sync::Arc::new(KvStore::new());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let s = store.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    s.put(format!("k-{t}-{i}"), Bytes::from(vec![0u8; 8]));
+                    let _ = s.get(&format!("k-{t}-{i}"));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.len(), 400);
+        assert_eq!(store.stats().writes, 400);
+        assert_eq!(store.stats().hits, 400);
+    }
+}

@@ -1,0 +1,32 @@
+//! # pp-serving
+//!
+//! Serving-layer simulation for predictive precompute, reproducing the
+//! production architecture and measurements of §9 of the paper:
+//!
+//! * [`kv_store`] — an instrumented in-memory key-value store (the paper's
+//!   Redis-like hidden-state store), f32 state encoding, and 8-bit
+//!   quantization;
+//! * [`pipeline`] — a discrete-event replay of the serving flow: predict at
+//!   session start from the stored hidden state, stream-join context and
+//!   access flag when the session window closes, then advance and re-store
+//!   the hidden state;
+//! * [`cost`] — the serving cost model comparing the aggregation-feature
+//!   path (≈ 20 lookups, thousands of keys per user) against the
+//!   hidden-state path (one 512-byte lookup), reproducing the ≈ 10× overall
+//!   cost reduction;
+//! * [`online`] — the day-by-day online comparison of RNN vs GBDT on
+//!   cold-start users (Figure 7) and the successful-prefetch lift at a
+//!   target precision.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cost;
+pub mod kv_store;
+pub mod online;
+pub mod pipeline;
+
+pub use cost::{baseline_profile, compare, rnn_profile, CostComparison, CostWeights, ServingProfile};
+pub use kv_store::{decode_state_f32, encode_state_f32, KvStore, QuantizedState, StoreStats};
+pub use online::{daily_metrics, run_online_comparison, DailyMetric, OnlineComparison};
+pub use pipeline::{ServingOutcome, ServingPipeline};

@@ -1,0 +1,96 @@
+//! MobileTab serving scenario: train an RNN, pick a threshold that targets
+//! 60% precision (the paper's production operating point), then replay the
+//! full serving pipeline — hidden-state store, stream join, precompute
+//! decisions — over held-out users and report both product metrics
+//! (successful/wasted prefetches) and systems metrics (store traffic,
+//! FLOPs).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example mobile_tab_serving
+//! ```
+
+use predictive_precompute::core::PrecomputePolicy;
+use predictive_precompute::data::schema::DatasetKind;
+use predictive_precompute::data::split::UserSplit;
+use predictive_precompute::data::synth::{
+    MobileTabConfig, MobileTabGenerator, SyntheticGenerator,
+};
+use predictive_precompute::rnn::{
+    scores_and_labels, RnnModel, RnnModelConfig, RnnTrainer, TaskKind, TrainerConfig,
+};
+use predictive_precompute::serving::ServingPipeline;
+
+fn main() {
+    // 1. Data and split.
+    let dataset = MobileTabGenerator::new(MobileTabConfig {
+        num_users: 300,
+        num_days: 21,
+        ..Default::default()
+    })
+    .generate();
+    let split = UserSplit::ninety_ten(&dataset, 7);
+    println!(
+        "MobileTab: {} train users, {} test users, {} sessions",
+        split.train.len(),
+        split.test.len(),
+        dataset.num_sessions()
+    );
+
+    // 2. Train the RNN.
+    let mut model = RnnModel::new(
+        DatasetKind::MobileTab,
+        TaskKind::PerSession,
+        RnnModelConfig {
+            hidden_dim: 32,
+            mlp_width: 32,
+            ..Default::default()
+        },
+        42,
+    );
+    let trainer = RnnTrainer::new(TrainerConfig {
+        epochs: 1,
+        train_last_days: 14,
+        ..Default::default()
+    });
+    let report = trainer.train(&mut model, &dataset, &split.train);
+    println!(
+        "Trained on {} predictions over {} sessions in {:.1}s",
+        report.total_predictions, report.total_sessions, report.wall_time_secs
+    );
+
+    // 3. Calibrate the precompute threshold on the training users to target
+    //    60% precision, as in §9.
+    let calibration = trainer.evaluate(&model, &dataset, &split.train, Some(7));
+    let (scores, labels) = scores_and_labels(&calibration);
+    let policy = PrecomputePolicy::for_target_precision(&scores, &labels, 0.6)
+        .unwrap_or_else(|| PrecomputePolicy::with_threshold(0.5));
+    println!(
+        "Calibrated threshold {:.3} for target precision {:?}",
+        policy.threshold(),
+        policy.target_precision()
+    );
+
+    // 4. Replay the serving pipeline over the held-out users.
+    let mut pipeline = ServingPipeline::new(&model, policy.threshold());
+    let outcome = pipeline.replay(&dataset, &split.test);
+    println!("\nServing replay over test users:");
+    println!("  predictions served      : {}", outcome.predictions);
+    println!("  precomputes triggered   : {}", outcome.precomputes);
+    println!("  successful prefetches   : {}", outcome.successful_prefetches);
+    println!("  wasted prefetches       : {}", outcome.wasted_prefetches);
+    println!("  missed accesses         : {}", outcome.missed_accesses);
+    println!("  achieved precision      : {:.3}", outcome.precision());
+    println!("  achieved recall         : {:.3}", outcome.recall());
+
+    let stats = pipeline.store().stats();
+    println!("\nHidden-state store traffic:");
+    println!("  reads  : {} ({} bytes)", stats.reads, stats.bytes_read);
+    println!("  writes : {} ({} bytes)", stats.writes, stats.bytes_written);
+    println!("  keys   : {} (one per user)", pipeline.store().len());
+    println!(
+        "  model compute: {} predict FLOPs + {} update FLOPs",
+        outcome.predict_flops, outcome.update_flops
+    );
+}

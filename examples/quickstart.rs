@@ -1,0 +1,84 @@
+//! Quickstart: generate a small MobileTab-style workload, train the four
+//! models of the paper, and print their offline metrics plus the sample rows
+//! of Table 1.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use predictive_precompute::core::{run_offline_experiment, ModelKind, OfflineExperimentConfig};
+use predictive_precompute::data::schema::Context;
+use predictive_precompute::data::synth::{
+    MobileTabConfig, MobileTabGenerator, SyntheticGenerator,
+};
+use predictive_precompute::metrics::report::format_comparison_table;
+use predictive_precompute::rnn::{RnnModelConfig, TrainerConfig};
+
+fn main() {
+    // 1. Generate a scaled-down MobileTab dataset (the paper's is 1M users).
+    let config = MobileTabConfig {
+        num_users: 400,
+        num_days: 21,
+        ..Default::default()
+    };
+    let dataset = MobileTabGenerator::new(config).generate();
+    println!(
+        "Generated {} users, {} sessions, positive rate {:.1}%",
+        dataset.num_users(),
+        dataset.num_sessions(),
+        dataset.positive_rate() * 100.0
+    );
+
+    // 2. Print a few raw access-log rows (the shape of Table 1).
+    println!("\nSample access log (Table 1 format):");
+    println!("{:<12} {:<12} {:<8} {:<10}", "TIMESTAMP", "ACCESS FLAG", "UNREAD", "ACTIVE TAB");
+    if let Some(user) = dataset.users.iter().find(|u| u.num_accesses() > 0) {
+        for s in user.sessions.iter().take(5) {
+            if let Context::MobileTab {
+                unread_count,
+                active_tab,
+            } = s.context
+            {
+                println!(
+                    "{:<12} {:<12} {:<8} {:<10}",
+                    s.timestamp, s.accessed as u8, unread_count, active_tab
+                );
+            }
+        }
+    }
+
+    // 3. Train and evaluate all four models with a fast configuration.
+    let experiment = OfflineExperimentConfig {
+        rnn_model: RnnModelConfig {
+            hidden_dim: 32,
+            mlp_width: 32,
+            ..Default::default()
+        },
+        rnn_trainer: TrainerConfig {
+            epochs: 1,
+            train_last_days: 14,
+            ..Default::default()
+        },
+        ..OfflineExperimentConfig::fast()
+    };
+    println!("\nTraining PercentageBased, LR, GBDT and RNN models…");
+    let evals = run_offline_experiment(&dataset, &ModelKind::ALL, &experiment);
+
+    // 4. Print the comparison tables (the shape of Tables 3 and 4).
+    let reports: Vec<_> = evals.iter().map(|e| e.report.clone()).collect();
+    println!();
+    println!(
+        "{}",
+        format_comparison_table(&reports, |r| r.pr_auc, "PR-AUC (cf. paper Table 3)")
+    );
+    println!(
+        "{}",
+        format_comparison_table(
+            &reports,
+            |r| r.recall_at_50_precision,
+            "Recall @ 50% precision (cf. paper Table 4)"
+        )
+    );
+}
