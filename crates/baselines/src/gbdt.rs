@@ -148,7 +148,9 @@ impl Tree {
         fn walk(nodes: &[TreeNode], idx: usize) -> usize {
             match &nodes[idx] {
                 TreeNode::Leaf { .. } => 0,
-                TreeNode::Split { left, right, .. } => 1 + walk(nodes, *left).max(walk(nodes, *right)),
+                TreeNode::Split { left, right, .. } => {
+                    1 + walk(nodes, *left).max(walk(nodes, *right))
+                }
             }
         }
         walk(&self.nodes, 0)
@@ -210,15 +212,7 @@ impl Gbdt {
             let indices: Vec<u32> = (0..n as u32).collect();
             let mut nodes = Vec::new();
             build_node(
-                &mut nodes,
-                &indices,
-                &binned,
-                dims,
-                &grad,
-                &hess,
-                &mapper,
-                &config,
-                0,
+                &mut nodes, &indices, &binned, dims, &grad, &hess, &mapper, &config, 0,
             );
             let tree = Tree { nodes };
             for i in 0..n {
@@ -367,9 +361,7 @@ fn build_node(
             }
             let gain = 0.5
                 * (gl * gl / (hl + config.lambda) + gr * gr / (hr + config.lambda) - parent_score);
-            if gain > config.min_split_gain
-                && best.as_ref().is_none_or(|s| gain > s.gain)
-            {
+            if gain > config.min_split_gain && best.as_ref().is_none_or(|s| gain > s.gain) {
                 best = Some(SplitCandidate {
                     gain,
                     feature: f,
@@ -394,10 +386,26 @@ fn build_node(
     let node_idx = nodes.len();
     nodes.push(TreeNode::Leaf { weight: 0.0 }); // placeholder
     let left = build_node(
-        nodes, &left_idx, binned, dims, grad, hess, mapper, config, depth + 1,
+        nodes,
+        &left_idx,
+        binned,
+        dims,
+        grad,
+        hess,
+        mapper,
+        config,
+        depth + 1,
     );
     let right = build_node(
-        nodes, &right_idx, binned, dims, grad, hess, mapper, config, depth + 1,
+        nodes,
+        &right_idx,
+        binned,
+        dims,
+        grad,
+        hess,
+        mapper,
+        config,
+        depth + 1,
     );
     nodes[node_idx] = TreeNode::Split {
         feature: split.feature,
@@ -473,7 +481,10 @@ mod tests {
             .filter(|e| (model.predict(&e.features) > 0.5) == e.label)
             .count();
         let accuracy = correct as f64 / test.len() as f64;
-        assert!(accuracy > 0.9, "GBDT should learn XOR, accuracy = {accuracy}");
+        assert!(
+            accuracy > 0.9,
+            "GBDT should learn XOR, accuracy = {accuracy}"
+        );
     }
 
     #[test]
@@ -542,8 +553,20 @@ mod tests {
     #[test]
     fn predictions_in_unit_interval_and_deterministic() {
         let data = xor_data(500, 7);
-        let a = Gbdt::train(&data, GbdtConfig { num_trees: 5, ..Default::default() });
-        let b = Gbdt::train(&data, GbdtConfig { num_trees: 5, ..Default::default() });
+        let a = Gbdt::train(
+            &data,
+            GbdtConfig {
+                num_trees: 5,
+                ..Default::default()
+            },
+        );
+        let b = Gbdt::train(
+            &data,
+            GbdtConfig {
+                num_trees: 5,
+                ..Default::default()
+            },
+        );
         assert_eq!(a, b);
         for e in &data {
             let p = a.predict(&e.features);
@@ -571,8 +594,16 @@ mod tests {
 
     #[test]
     fn constant_features_produce_single_leaf() {
-        let data: Vec<_> = (0..100).map(|i| example(vec![1.0, 1.0], i % 2 == 0)).collect();
-        let model = Gbdt::train(&data, GbdtConfig { num_trees: 3, ..Default::default() });
+        let data: Vec<_> = (0..100)
+            .map(|i| example(vec![1.0, 1.0], i % 2 == 0))
+            .collect();
+        let model = Gbdt::train(
+            &data,
+            GbdtConfig {
+                num_trees: 3,
+                ..Default::default()
+            },
+        );
         for t in model.trees() {
             assert_eq!(t.depth(), 0, "no split possible on constant features");
         }
@@ -587,7 +618,13 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let data = xor_data(200, 9);
-        let model = Gbdt::train(&data, GbdtConfig { num_trees: 3, ..Default::default() });
+        let model = Gbdt::train(
+            &data,
+            GbdtConfig {
+                num_trees: 3,
+                ..Default::default()
+            },
+        );
         let json = serde_json::to_string(&model).unwrap();
         let back: Gbdt = serde_json::from_str(&json).unwrap();
         assert_eq!(model.trees().len(), back.trees().len());

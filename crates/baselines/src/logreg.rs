@@ -136,7 +136,11 @@ impl LogisticRegression {
     ///
     /// Panics if the feature length does not match the trained model.
     pub fn predict(&self, features: &[f32]) -> f64 {
-        assert_eq!(features.len(), self.weights.len(), "feature length mismatch");
+        assert_eq!(
+            features.len(),
+            self.weights.len(),
+            "feature length mismatch"
+        );
         let z: f64 = features
             .iter()
             .zip(self.weights.iter())

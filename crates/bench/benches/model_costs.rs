@@ -6,7 +6,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pp_baselines::{Gbdt, GbdtConfig, LogRegConfig, LogisticRegression, PercentageModel};
 use pp_data::schema::DatasetKind;
 use pp_data::synth::{MobileTabConfig, MobileTabGenerator, SyntheticGenerator};
-use pp_features::baseline::{build_session_examples, BaselineFeaturizer, ElapsedEncoding, FeatureSet};
+use pp_features::baseline::{
+    build_session_examples, BaselineFeaturizer, ElapsedEncoding, FeatureSet,
+};
 use pp_rnn::{RnnModel, RnnModelConfig, TaskKind};
 use pp_serving::{decode_state_f32, encode_state_f32, KvStore};
 use std::hint::black_box;
@@ -29,7 +31,13 @@ fn bench_prediction_latency(c: &mut Criterion) {
             ..Default::default()
         },
     );
-    let lr = LogisticRegression::train(&examples, LogRegConfig { epochs: 2, ..Default::default() });
+    let lr = LogisticRegression::train(
+        &examples,
+        LogRegConfig {
+            epochs: 2,
+            ..Default::default()
+        },
+    );
     let pct = PercentageModel::new(0.1);
     let features = examples[0].features.clone();
 
@@ -39,7 +47,9 @@ fn bench_prediction_latency(c: &mut Criterion) {
         RnnModelConfig::default(),
         0,
     );
-    let state: Vec<f32> = (0..rnn.state_dim()).map(|i| (i as f32 * 0.1).sin()).collect();
+    let state: Vec<f32> = (0..rnn.state_dim())
+        .map(|i| (i as f32 * 0.1).sin())
+        .collect();
     let session = &ds.users[0].sessions[0];
     let predict_input = rnn
         .featurizer()
@@ -74,7 +84,10 @@ fn bench_feature_assembly_vs_hidden_lookup(c: &mut Criterion) {
     let hidden: Vec<f32> = vec![0.5; 128];
     store.put("hidden/user-1", encode_state_f32(&hidden));
     for i in 0..20 {
-        store.put(format!("agg/user-1/{i}"), encode_state_f32(&[1.0, 2.0, 3.0, 4.0]));
+        store.put(
+            format!("agg/user-1/{i}"),
+            encode_state_f32(&[1.0, 2.0, 3.0, 4.0]),
+        );
     }
 
     let mut group = c.benchmark_group("store_roundtrips");

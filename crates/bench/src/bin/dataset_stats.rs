@@ -54,10 +54,16 @@ fn main() {
     }
 
     section("Inter-session gap (Δt) percentiles, seconds");
-    println!("{:<12}{:>10}{:>10}{:>10}{:>10}", "DATASET", "P10", "P50", "P90", "P99");
+    println!(
+        "{:<12}{:>10}{:>10}{:>10}{:>10}",
+        "DATASET", "P10", "P50", "P90", "P99"
+    );
     for (name, ds) in &datasets {
         if let Some(d) = DeltaTSummary::compute(ds) {
-            println!("{name:<12}{:>10}{:>10}{:>10}{:>10}", d.p10, d.p50, d.p90, d.p99);
+            println!(
+                "{name:<12}{:>10}{:>10}{:>10}{:>10}",
+                d.p10, d.p50, d.p90, d.p99
+            );
         }
     }
 }

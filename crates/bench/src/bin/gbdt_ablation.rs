@@ -2,7 +2,7 @@
 //! (C → E+C → A+E+C) compared against the RNN, on the MPU dataset.
 
 use pp_bench::{section, Scale};
-use pp_core::experiments::{run_kfold_experiment, run_feature_ablation, ModelKind};
+use pp_core::experiments::{run_feature_ablation, run_kfold_experiment, ModelKind};
 use pp_data::synth::{MpuGenerator, SyntheticGenerator};
 
 fn main() {
@@ -24,9 +24,7 @@ fn main() {
     let rnn = run_kfold_experiment(&ds, &[ModelKind::Rnn], &config, 4);
     println!(
         "{:<10}{:>10.3}{:>16.3}",
-        "RNN",
-        rnn[0].report.pr_auc,
-        rnn[0].report.recall_at_50_precision
+        "RNN", rnn[0].report.pr_auc, rnn[0].report.recall_at_50_precision
     );
     println!(
         "\nPaper reference (Table 5): C 0.588/0.848, E+C 0.642/0.883, A+E+C 0.686/0.917, RNN 0.767/0.977"

@@ -14,7 +14,8 @@ fn main() {
     let scale = Scale::from_env();
     let config = scale.experiment();
     println!("scale: {scale:?}");
-    let selected = std::env::var("PP_DATASETS").unwrap_or_else(|_| "mobiletab,timeshift,mpu".into());
+    let selected =
+        std::env::var("PP_DATASETS").unwrap_or_else(|_| "mobiletab,timeshift,mpu".into());
 
     let mut reports: Vec<EvalReport> = Vec::new();
     let mut mobiletab_evals: Vec<ModelEvaluation> = Vec::new();
@@ -71,8 +72,12 @@ fn main() {
     section("Table 3: PR-AUC");
     println!("{}", format_comparison_table(&reports, |r| r.pr_auc, ""));
     if let (Some(gbdt), Some(rnn)) = (
-        reports.iter().find(|r| r.model == "GBDT" && r.dataset == "MobileTab"),
-        reports.iter().find(|r| r.model == "RNN" && r.dataset == "MobileTab"),
+        reports
+            .iter()
+            .find(|r| r.model == "GBDT" && r.dataset == "MobileTab"),
+        reports
+            .iter()
+            .find(|r| r.model == "RNN" && r.dataset == "MobileTab"),
     ) {
         println!(
             "MobileTab RNN improvement over GBDT: {:.2}% (paper: 3.11%)",

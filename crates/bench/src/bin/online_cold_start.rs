@@ -2,13 +2,15 @@
 //! for RNN vs GBDT on cold-start users) and the §9 successful-prefetch
 //! comparison at the production precision target of 60%.
 
-use pp_bench::{section, Scale};
 use pp_baselines::Gbdt;
+use pp_bench::{section, Scale};
 use pp_core::experiments::OfflineExperimentConfig;
 use pp_data::schema::DatasetKind;
 use pp_data::split::UserSplit;
 use pp_data::synth::{MobileTabGenerator, SyntheticGenerator};
-use pp_features::baseline::{build_session_examples, BaselineFeaturizer, ElapsedEncoding, FeatureSet};
+use pp_features::baseline::{
+    build_session_examples, BaselineFeaturizer, ElapsedEncoding, FeatureSet,
+};
 use pp_rnn::{RnnModel, RnnModelConfig, RnnTrainer, TaskKind, TrainerConfig};
 use pp_serving::run_online_comparison;
 
@@ -45,7 +47,10 @@ fn main() {
     let cmp = run_online_comparison(&rnn, &gbdt, &featurizer, &ds, &split.test, 0.6);
 
     section("Figure 7: online PR-AUC by day since experiment start");
-    println!("{:>5}{:>12}{:>12}{:>14}", "DAY", "RNN", "GBDT", "PREDICTIONS");
+    println!(
+        "{:>5}{:>12}{:>12}{:>14}",
+        "DAY", "RNN", "GBDT", "PREDICTIONS"
+    );
     for (r, g) in cmp.rnn_daily.iter().zip(&cmp.gbdt_daily) {
         println!(
             "{:>5}{:>12.3}{:>12.3}{:>14}",
@@ -54,8 +59,14 @@ fn main() {
     }
 
     section("§9: successful prefetches at the 60%-precision operating point");
-    println!("RNN  recall @ 60% precision : {:.3} (paper: 0.511)", cmp.rnn_recall_at_target);
-    println!("GBDT recall @ 60% precision : {:.3} (paper: 0.474)", cmp.gbdt_recall_at_target);
+    println!(
+        "RNN  recall @ 60% precision : {:.3} (paper: 0.511)",
+        cmp.rnn_recall_at_target
+    );
+    println!(
+        "GBDT recall @ 60% precision : {:.3} (paper: 0.474)",
+        cmp.gbdt_recall_at_target
+    );
     println!(
         "relative successful-prefetch lift: {:+.2}% (paper: +7.81%)",
         cmp.successful_prefetch_lift * 100.0

@@ -39,7 +39,10 @@ fn main() {
     }
 
     section("Hidden-state dimensionality sweep (GRU)");
-    println!("{:<8}{:>10}{:>16}{:>14}", "DIM", "PR-AUC", "RECALL@50%P", "BYTES/USER");
+    println!(
+        "{:<8}{:>10}{:>16}{:>14}",
+        "DIM", "PR-AUC", "RECALL@50%P", "BYTES/USER"
+    );
     for dim in [16usize, 32, 64, 128] {
         let eval = run(RnnModelConfig {
             hidden_dim: dim,

@@ -4,12 +4,14 @@
 //! per user, and the overall serving-cost ratio (paper: ≈ 10× in favour of
 //! the RNN). Also reports the effect of hidden-state quantization.
 
-use pp_bench::{section, Scale};
 use pp_baselines::Gbdt;
+use pp_bench::{section, Scale};
 use pp_data::schema::DatasetKind;
 use pp_data::split::UserSplit;
 use pp_data::synth::{MobileTabGenerator, SyntheticGenerator};
-use pp_features::baseline::{build_session_examples, BaselineFeaturizer, ElapsedEncoding, FeatureSet};
+use pp_features::baseline::{
+    build_session_examples, BaselineFeaturizer, ElapsedEncoding, FeatureSet,
+};
 use pp_rnn::{RnnModel, RnnModelConfig, TaskKind};
 use pp_serving::{baseline_profile, compare, rnn_profile, CostWeights, QuantizedState};
 
@@ -73,7 +75,9 @@ fn main() {
     );
 
     section("Hidden-state storage and quantization");
-    let state: Vec<f32> = (0..rnn.state_dim()).map(|i| ((i as f32) * 0.37).sin()).collect();
+    let state: Vec<f32> = (0..rnn.state_dim())
+        .map(|i| ((i as f32) * 0.37).sin())
+        .collect();
     let quant = QuantizedState::quantize(&state);
     println!("f32 hidden state  : {} bytes/user", rnn.state_bytes());
     println!("8-bit quantized   : {} bytes/user", quant.encoded_bytes());

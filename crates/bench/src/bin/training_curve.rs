@@ -22,7 +22,12 @@ fn main() {
     };
 
     section("Figure 4: training log loss vs sessions processed (MPU)");
-    let mut model = RnnModel::new(DatasetKind::Mpu, TaskKind::PerSession, model_config, scale.seed);
+    let mut model = RnnModel::new(
+        DatasetKind::Mpu,
+        TaskKind::PerSession,
+        model_config,
+        scale.seed,
+    );
     let trainer = RnnTrainer::new(TrainerConfig {
         epochs,
         seed: scale.seed,
@@ -32,7 +37,10 @@ fn main() {
     println!("{:>16}{:>8}{:>12}", "SESSIONS", "EPOCH", "LOG LOSS");
     let step = (report.loss_trace.len() / 40).max(1);
     for p in report.loss_trace.iter().step_by(step) {
-        println!("{:>16}{:>8}{:>12.4}", p.sessions_processed, p.epoch, p.log_loss);
+        println!(
+            "{:>16}{:>8}{:>12.4}",
+            p.sessions_processed, p.epoch, p.log_loss
+        );
     }
     println!(
         "total: {} sessions, {} predictions, {:.1}s wall time",
@@ -41,7 +49,12 @@ fn main() {
 
     section("§7.1: per-user parallelism vs sequential minibatch evaluation");
     for (name, parallel) in [("sequential", false), ("parallel", true)] {
-        let mut m = RnnModel::new(DatasetKind::Mpu, TaskKind::PerSession, model_config, scale.seed);
+        let mut m = RnnModel::new(
+            DatasetKind::Mpu,
+            TaskKind::PerSession,
+            model_config,
+            scale.seed,
+        );
         let t = RnnTrainer::new(TrainerConfig {
             epochs: 1,
             parallel,

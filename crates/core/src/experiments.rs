@@ -181,8 +181,10 @@ fn score_percentage_timeshift(
     lead_time_secs: i64,
 ) -> (Vec<f64>, Vec<bool>) {
     let windows = build_peak_window_examples(dataset, lead_time_secs);
-    let train_set: std::collections::HashSet<_> =
-        train_users.iter().map(|&i| dataset.users[i].user_id).collect();
+    let train_set: std::collections::HashSet<_> = train_users
+        .iter()
+        .map(|&i| dataset.users[i].user_id)
+        .collect();
     let model = PercentageModel::fit_labels(
         windows
             .iter()
@@ -195,18 +197,15 @@ fn score_percentage_timeshift(
     let mut labels = Vec::new();
     for &ui in test_users {
         let user_id = dataset.users[ui].user_id;
-        let mut prior_windows = 0usize;
         let mut prior_accesses = 0usize;
-        let mut user_windows: Vec<_> =
-            windows.iter().filter(|w| w.user_id == user_id).collect();
+        let mut user_windows: Vec<_> = windows.iter().filter(|w| w.user_id == user_id).collect();
         user_windows.sort_by_key(|w| w.day_index);
-        for w in user_windows {
+        for (prior_windows, w) in user_windows.into_iter().enumerate() {
             let day_offset = (w.day_index - first_day).max(0) as u32;
             if day_offset >= first_eval_day {
                 scores.push(model.predict(prior_windows, prior_accesses));
                 labels.push(w.accessed_in_window);
             }
-            prior_windows += 1;
             prior_accesses += w.accessed_in_window as usize;
         }
     }

@@ -71,7 +71,10 @@ impl PrecomputePolicy {
         if scores.is_empty() {
             0.0
         } else {
-            scores.iter().filter(|&&s| self.should_precompute(s)).count() as f64
+            scores
+                .iter()
+                .filter(|&&s| self.should_precompute(s))
+                .count() as f64
                 / scores.len() as f64
         }
     }
@@ -96,7 +99,9 @@ mod tests {
     fn calibration_meets_precision_target() {
         // Scores that rank positives mostly on top.
         let scores = [0.95, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1];
-        let labels = [true, true, false, true, false, false, true, false, false, false];
+        let labels = [
+            true, true, false, true, false, false, true, false, false, false,
+        ];
         let policy = PrecomputePolicy::for_target_precision(&scores, &labels, 0.75).unwrap();
         // Check the achieved precision on the same data.
         let (mut tp, mut fp) = (0, 0);

@@ -38,8 +38,8 @@ pub mod stats;
 pub mod synth;
 
 pub use schema::{
-    Context, Dataset, DatasetKind, ScreenState, Session, Tab, UserHistory, UserId,
-    SECONDS_PER_DAY, SECONDS_PER_HOUR,
+    Context, Dataset, DatasetKind, ScreenState, Session, Tab, UserHistory, UserId, SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
 };
 pub use split::{KFoldSplit, UserSplit};
 pub use stats::{access_rate_cdf, DatasetSummary, EmpiricalCdf, SessionCountHistogram};

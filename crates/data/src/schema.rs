@@ -67,7 +67,10 @@ impl Tab {
 
     /// Stable index of the tab in [`Tab::ALL`].
     pub fn index(self) -> usize {
-        Tab::ALL.iter().position(|&t| t == self).expect("tab in ALL")
+        Tab::ALL
+            .iter()
+            .position(|&t| t == self)
+            .expect("tab in ALL")
     }
 
     /// Hash bucket in `[0, 97)` as used by the paper's feature engineering

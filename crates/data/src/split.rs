@@ -49,7 +49,10 @@ impl UserSplit {
     }
 
     /// Iterates over training users.
-    pub fn train_users<'a>(&'a self, dataset: &'a Dataset) -> impl Iterator<Item = &'a UserHistory> {
+    pub fn train_users<'a>(
+        &'a self,
+        dataset: &'a Dataset,
+    ) -> impl Iterator<Item = &'a UserHistory> {
         self.train.iter().map(move |&i| &dataset.users[i])
     }
 

@@ -150,10 +150,13 @@ impl Default for BehaviorEngine {
 impl BehaviorEngine {
     /// Samples the latent traits of one user.
     pub fn sample_user<R: Rng + ?Sized>(&self, rng: &mut R) -> UserBehavior {
-        let sessions = LogNormal::new(self.sessions_per_day_log_mean, self.sessions_per_day_log_std)
-            .expect("valid lognormal")
-            .sample(rng)
-            .min(self.max_sessions_per_day);
+        let sessions = LogNormal::new(
+            self.sessions_per_day_log_mean,
+            self.sessions_per_day_log_std,
+        )
+        .expect("valid lognormal")
+        .sample(rng)
+        .min(self.max_sessions_per_day);
         let base_logit = Normal::new(self.base_logit_mean, self.base_logit_std)
             .expect("valid normal")
             .sample(rng);
@@ -317,7 +320,10 @@ mod tests {
         let max = rates.iter().cloned().fold(0.0, f64::max);
         assert!(max / min > 5.0, "expected a wide activity spread");
         let never = users.iter().filter(|u| u.never_accesses).count();
-        assert!(never > 20 && never < 120, "never-access fraction plausible: {never}");
+        assert!(
+            never > 20 && never < 120,
+            "never-access fraction plausible: {never}"
+        );
     }
 
     #[test]
@@ -328,7 +334,7 @@ mod tests {
         let times = e.sample_session_times(&user, 1_000_000, 30, &mut rng);
         assert!(times.windows(2).all(|w| w[0] < w[1]));
         for &t in &times {
-            assert!(t >= 1_000_000 && t < 1_000_000 + 30 * SECONDS_PER_DAY);
+            assert!((1_000_000..1_000_000 + 30 * SECONDS_PER_DAY).contains(&t));
         }
     }
 
@@ -357,7 +363,10 @@ mod tests {
         let now = 10_000;
         let p_cold = e.access_probability(&user, &cold, now, 0.0);
         let p_hot = e.access_probability(&user, &hot, now, 0.0);
-        assert!(p_hot > p_cold, "habitual users must be more likely to access");
+        assert!(
+            p_hot > p_cold,
+            "habitual users must be more likely to access"
+        );
     }
 
     #[test]
@@ -406,12 +415,19 @@ mod tests {
     fn poisson_mean_roughly_matches() {
         let mut rng = StdRng::seed_from_u64(7);
         let n = 5_000;
-        let mean: f64 =
-            (0..n).map(|_| sample_poisson(3.0, &mut rng) as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| sample_poisson(3.0, &mut rng) as f64)
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 3.0).abs() < 0.15, "poisson mean off: {mean}");
-        let big: f64 =
-            (0..n).map(|_| sample_poisson(100.0, &mut rng) as f64).sum::<f64>() / n as f64;
-        assert!((big - 100.0).abs() < 2.0, "large-rate poisson mean off: {big}");
+        let big: f64 = (0..n)
+            .map(|_| sample_poisson(100.0, &mut rng) as f64)
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            (big - 100.0).abs() < 2.0,
+            "large-rate poisson mean off: {big}"
+        );
         assert_eq!(sample_poisson(0.0, &mut rng), 0);
     }
 

@@ -26,8 +26,8 @@ mod timeshift;
 
 pub use behavior::{ActivityLevel, BehaviorEngine, UserBehavior};
 pub use mobile_tab::{MobileTabConfig, MobileTabGenerator};
-pub use mpu::{MpuConfig, MpuGenerator};
 pub use mpu::NUM_APPS;
+pub use mpu::{MpuConfig, MpuGenerator};
 pub use timeshift::{
     build_peak_window_examples, is_peak_hour, peak_window_end, peak_window_start,
     PeakWindowExample, TimeshiftConfig, TimeshiftGenerator, PEAK_END_HOUR, PEAK_START_HOUR,

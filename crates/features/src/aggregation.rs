@@ -249,7 +249,7 @@ mod tests {
 
         let counts = state.window_counts(now, &c);
         assert_eq!(counts.len(), 4 * 4); // 4 subsets × 4 windows
-        // Global subset is index 0; windows are [28d, 7d, 1d, 1h].
+                                         // Global subset is index 0; windows are [28d, 7d, 1d, 1h].
         assert_eq!(counts[0].sessions, 3);
         assert_eq!(counts[0].accesses, 2);
         assert_eq!(counts[1].sessions, 2); // 7d: excludes the 10-day-old one

@@ -69,7 +69,11 @@ pub struct BaselineFeaturizer {
 
 impl BaselineFeaturizer {
     /// Creates a featurizer for a dataset family.
-    pub fn new(kind: DatasetKind, feature_set: FeatureSet, elapsed_encoding: ElapsedEncoding) -> Self {
+    pub fn new(
+        kind: DatasetKind,
+        feature_set: FeatureSet,
+        elapsed_encoding: ElapsedEncoding,
+    ) -> Self {
         Self {
             context: ContextFeaturizer::new(kind),
             feature_set,
@@ -124,7 +128,7 @@ impl BaselineFeaturizer {
                         out.push(0.0);
                     }
                     None => {
-                        out.extend(std::iter::repeat(0.0).take(TIME_BUCKETS));
+                        out.extend(std::iter::repeat_n(0.0, TIME_BUCKETS));
                         out.push(1.0);
                     }
                 }
@@ -149,12 +153,7 @@ impl BaselineFeaturizer {
     /// # Panics
     ///
     /// Panics if the context kind does not match the featurizer.
-    pub fn extract(
-        &self,
-        state: &AggregationState,
-        timestamp: i64,
-        context: &Context,
-    ) -> Vec<f32> {
+    pub fn extract(&self, state: &AggregationState, timestamp: i64, context: &Context) -> Vec<f32> {
         let mut out = Vec::with_capacity(self.dims());
         self.context.featurize_into(timestamp, context, &mut out);
         if self.feature_set.has_elapsed() {
@@ -205,9 +204,7 @@ pub fn build_session_examples(
     featurizer: &BaselineFeaturizer,
     last_days: Option<u32>,
 ) -> Vec<LabeledExample> {
-    let cutoff = last_days.map(|d| {
-        dataset.end_timestamp() - (d as i64) * SECONDS_PER_DAY
-    });
+    let cutoff = last_days.map(|d| dataset.end_timestamp() - (d as i64) * SECONDS_PER_DAY);
     let mut examples = Vec::new();
     for &user_index in user_indices {
         let user = &dataset.users[user_index];
@@ -216,9 +213,8 @@ pub fn build_session_examples(
             let include = cutoff.is_none_or(|c| session.timestamp >= c);
             if include {
                 let features = featurizer.extract(&state, session.timestamp, &session.context);
-                let day_offset = ((session.timestamp - dataset.start_timestamp)
-                    / SECONDS_PER_DAY)
-                    .max(0) as u32;
+                let day_offset =
+                    ((session.timestamp - dataset.start_timestamp) / SECONDS_PER_DAY).max(0) as u32;
                 examples.push(LabeledExample {
                     features,
                     label: session.accessed,

@@ -7,7 +7,7 @@
 //! aggregation features ("accesses with the same active tab", etc.).
 
 use crate::encoding::{push_one_hot, unread_bucket, UNREAD_BUCKETS};
-use pp_data::schema::{hour_of_day, day_of_week, Context, DatasetKind, ScreenState, Tab};
+use pp_data::schema::{day_of_week, hour_of_day, Context, DatasetKind, ScreenState, Tab};
 use pp_data::synth::NUM_APPS;
 use serde::{Deserialize, Serialize};
 
@@ -43,7 +43,8 @@ impl ContextFeaturizer {
                 DatasetKind::MobileTab => UNREAD_BUCKETS + Tab::ALL.len() + 1, // +1 raw unread
                 DatasetKind::Timeshift => 1,                                   // is_peak
                 DatasetKind::Mpu => {
-                    ScreenState::ALL.len() + NUM_APPS as usize + NUM_APPS as usize + 1 // +1 same-app flag
+                    ScreenState::ALL.len() + NUM_APPS as usize + NUM_APPS as usize + 1
+                    // +1 same-app flag
                 }
             }
     }
@@ -124,7 +125,9 @@ impl ContextDimension {
     /// The dimensions available for a dataset family, in a fixed order.
     pub fn for_kind(kind: DatasetKind) -> &'static [ContextDimension] {
         match kind {
-            DatasetKind::MobileTab => &[ContextDimension::UnreadBucket, ContextDimension::ActiveTab],
+            DatasetKind::MobileTab => {
+                &[ContextDimension::UnreadBucket, ContextDimension::ActiveTab]
+            }
             DatasetKind::Timeshift => &[ContextDimension::PeakFlag],
             DatasetKind::Mpu => &[
                 ContextDimension::Screen,
@@ -172,7 +175,9 @@ impl ContextSubset {
     /// Enumerates every subset (including the empty one) for a dataset.
     pub fn enumerate(kind: DatasetKind) -> Vec<ContextSubset> {
         let n = ContextDimension::for_kind(kind).len();
-        (0..(1u8 << n)).map(|mask| ContextSubset { kind, mask }).collect()
+        (0..(1u8 << n))
+            .map(|mask| ContextSubset { kind, mask })
+            .collect()
     }
 
     /// Number of dimensions included in the subset.

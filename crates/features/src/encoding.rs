@@ -118,7 +118,7 @@ mod tests {
         }
         // 30 days should land in the top couple of buckets but not overflow.
         let b30 = time_bucket(30 * 86_400);
-        assert!(b30 >= 47 && b30 < TIME_BUCKETS, "30d bucket = {b30}");
+        assert!((47..TIME_BUCKETS).contains(&b30), "30d bucket = {b30}");
         // A year still clamps to the last bucket.
         assert_eq!(time_bucket(365 * 86_400), TIME_BUCKETS - 1);
     }

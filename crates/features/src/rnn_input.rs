@@ -116,7 +116,10 @@ mod tests {
         assert_eq!(f.timeshift_predict_dims(), TIME_BUCKETS);
 
         assert_eq!(f.features(0, &ctx(), 0).len(), f.feature_dims());
-        assert_eq!(f.update_input(0, &ctx(), 60, true).len(), f.update_input_dims());
+        assert_eq!(
+            f.update_input(0, &ctx(), 60, true).len(),
+            f.update_input_dims()
+        );
         assert_eq!(f.predict_input(0, &ctx(), 60).len(), f.predict_input_dims());
         assert_eq!(
             f.timeshift_predict_input(3_600).len(),

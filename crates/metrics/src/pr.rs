@@ -142,8 +142,7 @@ impl PrCurve {
         self.points
             .iter()
             .copied()
-            .filter(|p| p.threshold >= threshold)
-            .last()
+            .rfind(|p| p.threshold >= threshold)
     }
 }
 
@@ -197,7 +196,10 @@ mod tests {
             labels.push(next() < 0.1);
         }
         let auc = pr_auc(&scores, &labels);
-        assert!((auc - 0.1).abs() < 0.03, "random AUC should be near 0.1, got {auc}");
+        assert!(
+            (auc - 0.1).abs() < 0.03,
+            "random AUC should be near 0.1, got {auc}"
+        );
     }
 
     #[test]

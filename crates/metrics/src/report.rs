@@ -40,7 +40,10 @@ impl EvalReport {
         labels: &[bool],
     ) -> Self {
         assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
-        assert!(!scores.is_empty(), "cannot evaluate an empty prediction set");
+        assert!(
+            !scores.is_empty(),
+            "cannot evaluate an empty prediction set"
+        );
         let curve = PrCurve::compute(scores, labels);
         Self {
             model: model.into(),

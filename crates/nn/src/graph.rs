@@ -362,10 +362,8 @@ impl Graph {
                     self.nodes[b.0].grad.add_scaled_inplace(&grad_b, 1.0);
                 }
                 Op::SliceCols(a, start, _end) => {
-                    let mut grad_a = Tensor::zeros(
-                        self.nodes[a.0].value.rows(),
-                        self.nodes[a.0].value.cols(),
-                    );
+                    let mut grad_a =
+                        Tensor::zeros(self.nodes[a.0].value.rows(), self.nodes[a.0].value.cols());
                     for r in 0..node_grad.rows() {
                         for c in 0..node_grad.cols() {
                             grad_a.set(r, start + c, node_grad.at(r, c));
@@ -428,7 +426,11 @@ impl Graph {
                         Some(w) => w.as_slice().iter().sum(),
                         None => z.len() as f32,
                     };
-                    let denom = if weight_total > 0.0 { weight_total } else { 1.0 };
+                    let denom = if weight_total > 0.0 {
+                        weight_total
+                    } else {
+                        1.0
+                    };
                     let mut grad = Tensor::zeros(z.rows(), z.cols());
                     for idx in 0..z.len() {
                         let zi = z.as_slice()[idx];

@@ -77,6 +77,16 @@ impl Linear {
         graph.add_row_broadcast(xw, b)
     }
 
+    /// Inference-only forward pass `x · W + b`: no tape, no gradient
+    /// buffers, and — unlike [`Linear::forward`] — no copy of the weight
+    /// matrix into a graph node. This is the layer the batched serving path
+    /// runs on; it computes the same operations in the same order as the
+    /// graph version, so results are identical.
+    pub fn forward_infer(&self, store: &ParamStore, x: &Tensor) -> Tensor {
+        x.matmul(store.get(self.weight))
+            .add_row_broadcast(store.get(self.bias))
+    }
+
     /// Number of scalar parameters in the layer.
     pub fn num_params(&self) -> usize {
         self.in_dim * self.out_dim + self.out_dim
@@ -150,7 +160,10 @@ impl GruCell {
     ) -> Self {
         let init = Init::RecurrentUniform;
         let w = |suffix: &str, rows: usize, store: &mut ParamStore, rng: &mut R| {
-            store.add(format!("{name}.{suffix}"), init.build(rows, hidden_dim, rng))
+            store.add(
+                format!("{name}.{suffix}"),
+                init.build(rows, hidden_dim, rng),
+            )
         };
         let w_ir = w("w_ir", input_dim, store, rng);
         let w_iz = w("w_iz", input_dim, store, rng);
@@ -196,13 +209,7 @@ impl GruCell {
     }
 
     /// Builds one recurrent step `h' = GRU(x, h)` in `graph`.
-    pub fn forward(
-        &self,
-        graph: &mut Graph,
-        store: &ParamStore,
-        x: NodeId,
-        h: NodeId,
-    ) -> NodeId {
+    pub fn forward(&self, graph: &mut Graph, store: &ParamStore, x: NodeId, h: NodeId) -> NodeId {
         let gate = |graph: &mut Graph, wi, bi, wh, bh, x, h| -> NodeId {
             let wi = graph.param(wi, store.get(wi));
             let bi = graph.param(bi, store.get(bi));
@@ -240,16 +247,42 @@ impl GruCell {
         graph.add(a, b)
     }
 
+    /// Inference-only recurrent step: identical math to [`GruCell::forward`]
+    /// (same operations, same order) without building a tape or copying the
+    /// weight matrices. Batch rows are independent, so this serves `B` users
+    /// with one matmul per gate.
+    pub fn forward_infer(&self, store: &ParamStore, x: &Tensor, h: &Tensor) -> Tensor {
+        let gate_pre = |wi: ParamId, bi: ParamId, wh: ParamId, bh: ParamId| -> Tensor {
+            let xi = x.matmul(store.get(wi)).add_row_broadcast(store.get(bi));
+            let hh = h.matmul(store.get(wh)).add_row_broadcast(store.get(bh));
+            xi.add(&hh)
+        };
+        let r =
+            gate_pre(self.w_ir, self.b_ir, self.w_hr, self.b_hr).map(crate::graph::stable_sigmoid);
+        let z =
+            gate_pre(self.w_iz, self.b_iz, self.w_hz, self.b_hz).map(crate::graph::stable_sigmoid);
+        let xn = x
+            .matmul(store.get(self.w_in))
+            .add_row_broadcast(store.get(self.b_in));
+        let hn = h
+            .matmul(store.get(self.w_hn))
+            .add_row_broadcast(store.get(self.b_hn));
+        let n = xn.add(&r.mul(&hn)).map(f32::tanh);
+        let one_minus_z = z.map(|v| 1.0 - v);
+        one_minus_z.mul(&n).add(&z.mul(h))
+    }
+
     /// Number of scalar parameters.
     pub fn num_params(&self) -> usize {
-        3 * (self.input_dim * self.hidden_dim) + 3 * (self.hidden_dim * self.hidden_dim)
+        3 * (self.input_dim * self.hidden_dim)
+            + 3 * (self.hidden_dim * self.hidden_dim)
             + 6 * self.hidden_dim
     }
 
     /// Approximate FLOPs for a single hidden-state update (one row).
     pub fn flops(&self) -> u64 {
-        let matmuls = 3 * 2 * self.input_dim * self.hidden_dim
-            + 3 * 2 * self.hidden_dim * self.hidden_dim;
+        let matmuls =
+            3 * 2 * self.input_dim * self.hidden_dim + 3 * 2 * self.hidden_dim * self.hidden_dim;
         let elementwise = 10 * self.hidden_dim;
         (matmuls + elementwise) as u64
     }
@@ -275,8 +308,14 @@ impl TanhCell {
         rng: &mut R,
     ) -> Self {
         let init = Init::RecurrentUniform;
-        let w_ih = store.add(format!("{name}.w_ih"), init.build(input_dim, hidden_dim, rng));
-        let w_hh = store.add(format!("{name}.w_hh"), init.build(hidden_dim, hidden_dim, rng));
+        let w_ih = store.add(
+            format!("{name}.w_ih"),
+            init.build(input_dim, hidden_dim, rng),
+        );
+        let w_hh = store.add(
+            format!("{name}.w_hh"),
+            init.build(hidden_dim, hidden_dim, rng),
+        );
         let bias = store.add(format!("{name}.bias"), Tensor::zeros(1, hidden_dim));
         Self {
             w_ih,
@@ -298,13 +337,7 @@ impl TanhCell {
     }
 
     /// Builds one recurrent step in `graph`.
-    pub fn forward(
-        &self,
-        graph: &mut Graph,
-        store: &ParamStore,
-        x: NodeId,
-        h: NodeId,
-    ) -> NodeId {
+    pub fn forward(&self, graph: &mut Graph, store: &ParamStore, x: NodeId, h: NodeId) -> NodeId {
         let w_ih = graph.param(self.w_ih, store.get(self.w_ih));
         let w_hh = graph.param(self.w_hh, store.get(self.w_hh));
         let bias = graph.param(self.bias, store.get(self.bias));
@@ -315,9 +348,19 @@ impl TanhCell {
         graph.tanh(pre)
     }
 
+    /// Inference-only recurrent step (see [`GruCell::forward_infer`]).
+    pub fn forward_infer(&self, store: &ParamStore, x: &Tensor, h: &Tensor) -> Tensor {
+        let xw = x.matmul(store.get(self.w_ih));
+        let hw = h.matmul(store.get(self.w_hh));
+        xw.add(&hw)
+            .add_row_broadcast(store.get(self.bias))
+            .map(f32::tanh)
+    }
+
     /// Approximate FLOPs for one update.
     pub fn flops(&self) -> u64 {
-        (2 * self.input_dim * self.hidden_dim + 2 * self.hidden_dim * self.hidden_dim
+        (2 * self.input_dim * self.hidden_dim
+            + 2 * self.hidden_dim * self.hidden_dim
             + 2 * self.hidden_dim) as u64
     }
 }
@@ -356,14 +399,20 @@ impl LstmCell {
     ) -> Self {
         let init = Init::RecurrentUniform;
         let wi = |suffix: &str, store: &mut ParamStore, rng: &mut R| {
-            store.add(format!("{name}.{suffix}"), init.build(input_dim, hidden_dim, rng))
+            store.add(
+                format!("{name}.{suffix}"),
+                init.build(input_dim, hidden_dim, rng),
+            )
         };
         let w_ii = wi("w_ii", store, rng);
         let w_if = wi("w_if", store, rng);
         let w_ig = wi("w_ig", store, rng);
         let w_io = wi("w_io", store, rng);
         let wh = |suffix: &str, store: &mut ParamStore, rng: &mut R| {
-            store.add(format!("{name}.{suffix}"), init.build(hidden_dim, hidden_dim, rng))
+            store.add(
+                format!("{name}.{suffix}"),
+                init.build(hidden_dim, hidden_dim, rng),
+            )
         };
         let w_hi = wh("w_hi", store, rng);
         let w_hf = wh("w_hf", store, rng);
@@ -444,6 +493,31 @@ impl LstmCell {
         graph.concat_cols(h_next, c_next)
     }
 
+    /// Inference-only step (see [`GruCell::forward_infer`]); `state` is the
+    /// same `[h ; c]` layout as [`LstmCell::forward`].
+    pub fn forward_infer(&self, store: &ParamStore, x: &Tensor, state: &Tensor) -> Tensor {
+        let h = state.slice_cols(0, self.hidden_dim);
+        let c = state.slice_cols(self.hidden_dim, 2 * self.hidden_dim);
+        let gate = |wi: ParamId, wh: ParamId, b: ParamId, act_sigmoid: bool| -> Tensor {
+            let pre = x
+                .matmul(store.get(wi))
+                .add(&h.matmul(store.get(wh)))
+                .add_row_broadcast(store.get(b));
+            if act_sigmoid {
+                pre.map(crate::graph::stable_sigmoid)
+            } else {
+                pre.map(f32::tanh)
+            }
+        };
+        let i = gate(self.w_ii, self.w_hi, self.b_i, true);
+        let f = gate(self.w_if, self.w_hf, self.b_f, true);
+        let g = gate(self.w_ig, self.w_hg, self.b_g, false);
+        let o = gate(self.w_io, self.w_ho, self.b_o, true);
+        let c_next = f.mul(&c).add(&i.mul(&g));
+        let h_next = o.mul(&c_next.map(f32::tanh));
+        h_next.concat_cols(&c_next)
+    }
+
     /// Approximate FLOPs for one update.
     pub fn flops(&self) -> u64 {
         (4 * 2 * self.input_dim * self.hidden_dim
@@ -467,7 +541,10 @@ impl Dropout {
     ///
     /// Panics unless `0 <= p < 1`.
     pub fn new(p: f32) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability must be in [0, 1)"
+        );
         Self { p }
     }
 
@@ -602,7 +679,10 @@ mod tests {
         g.param_grads_into(&mut grads);
         let nonzero = grads.iter().filter(|(_, t)| t.max_abs() > 0.0).count();
         // All GRU weights and the head should receive gradient.
-        assert!(nonzero >= 12, "expected most params to get gradient, got {nonzero}");
+        assert!(
+            nonzero >= 12,
+            "expected most params to get gradient, got {nonzero}"
+        );
     }
 
     #[test]

@@ -183,7 +183,11 @@ impl Optimizer for Sgd {
             let g = grads.get(id);
             let vel = &mut self.velocity[id.index()];
             let p = params.get_mut(id);
-            let (lr, mom, wd) = (self.config.lr, self.config.momentum, self.config.weight_decay);
+            let (lr, mom, wd) = (
+                self.config.lr,
+                self.config.momentum,
+                self.config.weight_decay,
+            );
             for i in 0..p.len() {
                 let mut gi = g.as_slice()[i];
                 if wd > 0.0 {
@@ -238,7 +242,13 @@ mod tests {
     fn adam_converges_on_quadratic() {
         let mut store = ParamStore::new();
         store.add("w", Tensor::from_row(&[0.0]));
-        let adam = Adam::new(&store, AdamConfig { lr: 0.1, ..Default::default() });
+        let adam = Adam::new(
+            &store,
+            AdamConfig {
+                lr: 0.1,
+                ..Default::default()
+            },
+        );
         let w = minimize_quadratic(adam, &mut store, 300);
         assert!((w - 3.0).abs() < 0.05, "adam did not converge: w = {w}");
     }
@@ -247,7 +257,14 @@ mod tests {
     fn sgd_converges_on_quadratic() {
         let mut store = ParamStore::new();
         store.add("w", Tensor::from_row(&[0.0]));
-        let sgd = Sgd::new(&store, SgdConfig { lr: 0.1, momentum: 0.9, ..Default::default() });
+        let sgd = Sgd::new(
+            &store,
+            SgdConfig {
+                lr: 0.1,
+                momentum: 0.9,
+                ..Default::default()
+            },
+        );
         let w = minimize_quadratic(sgd, &mut store, 200);
         assert!((w - 3.0).abs() < 0.05, "sgd did not converge: w = {w}");
     }
@@ -272,7 +289,11 @@ mod tests {
         store.add("w", Tensor::from_row(&[10.0]));
         let mut adam = Adam::new(
             &store,
-            AdamConfig { lr: 0.1, weight_decay: 0.1, ..Default::default() },
+            AdamConfig {
+                lr: 0.1,
+                weight_decay: 0.1,
+                ..Default::default()
+            },
         );
         let grads = store.zero_grads();
         for _ in 0..50 {

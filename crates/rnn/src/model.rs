@@ -233,12 +233,7 @@ impl RnnModel {
 
     /// Builds the `RNN_update` step in an autograd graph: consumes the state
     /// node and an update-input node, returns the next state node.
-    pub fn update_node(
-        &self,
-        graph: &mut Graph,
-        state: NodeId,
-        update_input: NodeId,
-    ) -> NodeId {
+    pub fn update_node(&self, graph: &mut Graph, state: NodeId, update_input: NodeId) -> NodeId {
         match &self.cell {
             Cell::Tanh(c) => c.forward(graph, &self.params, update_input, state),
             Cell::Gru(c) => c.forward(graph, &self.params, update_input, state),
@@ -317,6 +312,128 @@ impl RnnModel {
         let mut rng = StdRng::seed_from_u64(0);
         let logit = self.predict_logit_node(&mut graph, s, x, false, &mut rng);
         stable_sigmoid(graph.value(logit).at(0, 0)) as f64
+    }
+
+    /// Inference-only update step over a whole batch tensor (no autograd
+    /// tape, no weight copies).
+    fn update_infer(&self, state: &Tensor, update_input: &Tensor) -> Tensor {
+        match &self.cell {
+            Cell::Tanh(c) => c.forward_infer(&self.params, update_input, state),
+            Cell::Gru(c) => c.forward_infer(&self.params, update_input, state),
+            Cell::Lstm(c) => c.forward_infer(&self.params, update_input, state),
+        }
+    }
+
+    /// Inference-only prediction head over a whole batch tensor, returning
+    /// per-row logits (dropout disabled).
+    fn predict_logit_infer(&self, state: &Tensor, predict_input: &Tensor) -> Tensor {
+        let h = match &self.cell {
+            Cell::Lstm(_) => state.slice_cols(0, self.config.hidden_dim),
+            _ => state.clone(),
+        };
+        let crossed = if let Some(latent) = &self.latent {
+            // h' = h ⊙ (1 + L(f))
+            let one_plus = latent
+                .forward_infer(&self.params, predict_input)
+                .map(|v| v + 1.0);
+            h.mul(&one_plus)
+        } else {
+            h
+        };
+        let joined = crossed.concat_cols(predict_input);
+        let activated = self
+            .mlp_hidden
+            .forward_infer(&self.params, &joined)
+            .map(|v| v.max(0.0));
+        self.mlp_out.forward_infer(&self.params, &activated)
+    }
+
+    /// Batched inference: advances `states.len()` stored states in one
+    /// graph-free forward pass — one `B × d` matmul per gate instead of `B`
+    /// separate `1 × d` matmuls, with no autograd tape and no per-call
+    /// copies of the weight matrices. Row `i` of the result equals
+    /// `advance_state(&states[i], &update_inputs[i])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two slices differ in length or any row has the wrong
+    /// dimensionality.
+    pub fn advance_state_batch<S, U>(&self, states: &[S], update_inputs: &[U]) -> Vec<Vec<f32>>
+    where
+        S: AsRef<[f32]>,
+        U: AsRef<[f32]>,
+    {
+        assert_eq!(
+            states.len(),
+            update_inputs.len(),
+            "advance_state_batch: {} states but {} update inputs",
+            states.len(),
+            update_inputs.len()
+        );
+        if states.is_empty() {
+            return Vec::new();
+        }
+        let state_rows: Vec<&[f32]> = states.iter().map(|s| s.as_ref()).collect();
+        let input_rows: Vec<&[f32]> = update_inputs.iter().map(|u| u.as_ref()).collect();
+        for row in &state_rows {
+            assert_eq!(row.len(), self.state_dim(), "state length mismatch");
+        }
+        for row in &input_rows {
+            assert_eq!(
+                row.len(),
+                self.update_input_dims(),
+                "update input length mismatch"
+            );
+        }
+        let s = Tensor::from_rows(&state_rows);
+        let x = Tensor::from_rows(&input_rows);
+        self.update_infer(&s, &x)
+            .iter_rows()
+            .map(|row| row.to_vec())
+            .collect()
+    }
+
+    /// Batched inference: serves `states.len()` predictions through one
+    /// graph-free forward pass (dropout disabled). Element `i` of the result
+    /// equals `predict_proba(&states[i], &predict_inputs[i])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two slices differ in length or any row has the wrong
+    /// dimensionality.
+    pub fn predict_proba_batch<S, P>(&self, states: &[S], predict_inputs: &[P]) -> Vec<f64>
+    where
+        S: AsRef<[f32]>,
+        P: AsRef<[f32]>,
+    {
+        assert_eq!(
+            states.len(),
+            predict_inputs.len(),
+            "predict_proba_batch: {} states but {} predict inputs",
+            states.len(),
+            predict_inputs.len()
+        );
+        if states.is_empty() {
+            return Vec::new();
+        }
+        let state_rows: Vec<&[f32]> = states.iter().map(|s| s.as_ref()).collect();
+        let input_rows: Vec<&[f32]> = predict_inputs.iter().map(|p| p.as_ref()).collect();
+        for row in &state_rows {
+            assert_eq!(row.len(), self.state_dim(), "state length mismatch");
+        }
+        for row in &input_rows {
+            assert_eq!(
+                row.len(),
+                self.predict_input_dims(),
+                "predict input length mismatch"
+            );
+        }
+        let s = Tensor::from_rows(&state_rows);
+        let x = Tensor::from_rows(&input_rows);
+        let out = self.predict_logit_infer(&s, &x);
+        (0..out.rows())
+            .map(|r| stable_sigmoid(out.at(r, 0)) as f64)
+            .collect()
     }
 
     /// Approximate FLOPs of one `RNN_update` call (one session), used by the
@@ -446,7 +563,10 @@ mod tests {
             RnnModelConfig::tiny(),
             0,
         );
-        assert_eq!(m.predict_input_dims(), m.featurizer().timeshift_predict_dims());
+        assert_eq!(
+            m.predict_input_dims(),
+            m.featurizer().timeshift_predict_dims()
+        );
         let p = m.predict_proba(
             &m.initial_state(),
             &m.featurizer().timeshift_predict_input(3_600),
@@ -491,6 +611,67 @@ mod tests {
         let m = model(CellKind::Gru);
         let f = m.featurizer();
         let _ = m.predict_proba(&[0.0; 3], &f.predict_input(0, &ctx(), 0));
+    }
+
+    #[test]
+    fn batched_paths_match_single_request_paths() {
+        for cell in [CellKind::Tanh, CellKind::Gru, CellKind::Lstm] {
+            let m = model(cell);
+            let f = m.featurizer();
+            // Build a few distinct per-user states by advancing from h_0.
+            let mut states: Vec<Vec<f32>> = Vec::new();
+            let mut predict_inputs: Vec<Vec<f32>> = Vec::new();
+            let mut update_inputs: Vec<Vec<f32>> = Vec::new();
+            for i in 0..7i64 {
+                let mut h = m.initial_state();
+                for step in 0..i {
+                    h = m
+                        .advance_state(&h, &f.update_input(600 * step, &ctx(), 300, step % 2 == 0));
+                }
+                states.push(h);
+                predict_inputs.push(f.predict_input(10_000 + i, &ctx(), 60 * i));
+                update_inputs.push(f.update_input(10_000 + i, &ctx(), 60 * i, i % 2 == 1));
+            }
+            let batch_probs = m.predict_proba_batch(&states, &predict_inputs);
+            let batch_states = m.advance_state_batch(&states, &update_inputs);
+            for i in 0..states.len() {
+                let single_p = m.predict_proba(&states[i], &predict_inputs[i]);
+                assert!(
+                    (batch_probs[i] - single_p).abs() < 1e-6,
+                    "cell {cell}, row {i}: batch {} vs single {}",
+                    batch_probs[i],
+                    single_p
+                );
+                let single_h = m.advance_state(&states[i], &update_inputs[i]);
+                for (a, b) in batch_states[i].iter().zip(&single_h) {
+                    assert!((a - b).abs() < 1e-6, "cell {cell}, row {i}: state drift");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_of_one_and_empty_batch() {
+        let m = model(CellKind::Gru);
+        let f = m.featurizer();
+        let h = m.initial_state();
+        let p = f.predict_input(1_000, &ctx(), 100);
+        let probs = m.predict_proba_batch(std::slice::from_ref(&h), std::slice::from_ref(&p));
+        assert_eq!(probs.len(), 1);
+        assert!((probs[0] - m.predict_proba(&h, &p)).abs() < 1e-9);
+        let empty: Vec<Vec<f32>> = Vec::new();
+        assert!(m.predict_proba_batch(&empty, &empty).is_empty());
+        assert!(m.advance_state_batch(&empty, &empty).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "predict_proba_batch")]
+    fn batch_length_mismatch_panics() {
+        let m = model(CellKind::Gru);
+        let f = m.featurizer();
+        let h = m.initial_state();
+        let p = f.predict_input(1_000, &ctx(), 100);
+        let _ = m.predict_proba_batch(&[h.clone(), h], &[p]);
     }
 
     #[test]

@@ -96,7 +96,8 @@ impl UserSequencePlan {
     /// `first_day_offset` (the paper trains on the last 21 days and
     /// evaluates on the last 7).
     pub fn retain_predictions_from_day(&mut self, first_day_offset: u32) {
-        self.predictions.retain(|p| p.day_offset >= first_day_offset);
+        self.predictions
+            .retain(|p| p.day_offset >= first_day_offset);
     }
 
     /// Checks the lag invariant: every prediction's `hidden_index` must not

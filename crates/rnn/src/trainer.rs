@@ -130,7 +130,9 @@ impl RnnTrainer {
     }
 
     fn lag_for(&self, model: &RnnModel) -> LagConfig {
-        self.config.lag.unwrap_or_else(|| LagConfig::for_kind(model.kind()))
+        self.config
+            .lag
+            .unwrap_or_else(|| LagConfig::for_kind(model.kind()))
     }
 
     /// Builds the (possibly truncated) sequence plan for one user.
@@ -151,12 +153,9 @@ impl RnnTrainer {
             user
         };
         match model.task() {
-            TaskKind::PerSession => plan_per_session(
-                user_ref,
-                model.featurizer(),
-                lag,
-                dataset.start_timestamp,
-            ),
+            TaskKind::PerSession => {
+                plan_per_session(user_ref, model.featurizer(), lag, dataset.start_timestamp)
+            }
             TaskKind::Timeshifted => plan_timeshift(
                 user_ref,
                 windows.expect("timeshift task requires peak windows"),
@@ -168,7 +167,11 @@ impl RnnTrainer {
         }
     }
 
-    fn windows_for(&self, model: &RnnModel, dataset: &Dataset) -> Option<Vec<pp_data::synth::PeakWindowExample>> {
+    fn windows_for(
+        &self,
+        model: &RnnModel,
+        dataset: &Dataset,
+    ) -> Option<Vec<pp_data::synth::PeakWindowExample>> {
         match model.task() {
             TaskKind::PerSession => None,
             TaskKind::Timeshifted => Some(build_peak_window_examples(
@@ -216,19 +219,14 @@ impl RnnTrainer {
                 let plans: Vec<(usize, UserSequencePlan)> = batch
                     .iter()
                     .map(|&ui| {
-                        let mut plan = self.plan_user(
-                            model,
-                            dataset,
-                            &dataset.users[ui],
-                            windows.as_deref(),
-                        );
+                        let mut plan =
+                            self.plan_user(model, dataset, &dataset.users[ui], windows.as_deref());
                         plan.retain_predictions_from_day(first_train_day);
                         (ui, plan)
                     })
                     .collect();
 
-                let batch_sessions: u64 =
-                    plans.iter().map(|(_, p)| p.num_updates() as u64).sum();
+                let batch_sessions: u64 = plans.iter().map(|(_, p)| p.num_updates() as u64).sum();
                 let batch_predictions: u64 =
                     plans.iter().map(|(_, p)| p.num_predictions() as u64).sum();
                 total_sessions += batch_sessions;
@@ -375,19 +373,18 @@ fn run_users_parallel(
 ) -> Vec<UserGradients> {
     let mut results: Vec<Option<UserGradients>> = Vec::new();
     results.resize_with(plans.len(), || None);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(plans.len());
         for (slot, (ui, plan)) in results.iter_mut().zip(plans.iter()) {
             let ui = *ui;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 *slot = Some(user_gradients(model, plan, seed, epoch, ui));
             }));
         }
         for h in handles {
             h.join().expect("worker thread panicked");
         }
-    })
-    .expect("crossbeam scope failed");
+    });
     results
         .into_iter()
         .map(|r| r.expect("every user produced gradients"))
@@ -500,8 +497,11 @@ mod tests {
         // that of the last quarter (the model is learning).
         let n = report.loss_trace.len();
         let quarter = (n / 4).max(1);
-        let early: f64 =
-            report.loss_trace[..quarter].iter().map(|p| p.log_loss).sum::<f64>() / quarter as f64;
+        let early: f64 = report.loss_trace[..quarter]
+            .iter()
+            .map(|p| p.log_loss)
+            .sum::<f64>()
+            / quarter as f64;
         let late: f64 = report.loss_trace[n - quarter..]
             .iter()
             .map(|p| p.log_loss)

@@ -1,0 +1,630 @@
+//! Batched request scheduling: coalesce concurrent session-start requests
+//! into one GRU/MLP forward pass per batch.
+//!
+//! The single-request path builds one autograd graph per prediction —
+//! per-call overhead (graph nodes, allocations) dominates the actual
+//! arithmetic at the paper's model sizes. At production request rates many
+//! session starts are in flight at once, so the serving engine can instead
+//! drain the arrival queue into batches and run **one `B × d` matmul per
+//! layer instead of `B` separate `1 × d` matmuls**
+//! ([`RnnModel::predict_proba_batch`] / [`RnnModel::advance_state_batch`]).
+//!
+//! Two layers are provided:
+//!
+//! * [`BatchScheduler`] — the synchronous core: a queue plus flush logic
+//!   against a [`ShardedStateStore`], deterministic and directly testable
+//!   for batched-vs-single equivalence;
+//! * [`BatchServingEngine`] — worker threads around the same logic: clients
+//!   submit requests from any thread, workers drain the shared queue in
+//!   batches of up to `max_batch`, reply over per-request channels.
+
+use crate::sharded::ShardedStateStore;
+use pp_data::schema::{Context, UserId};
+use pp_rnn::RnnModel;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A session-start prediction request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PredictRequest {
+    /// The user starting a session.
+    pub user_id: UserId,
+    /// Session-start timestamp (UNIX seconds).
+    pub timestamp: i64,
+    /// Context observed at session start.
+    pub context: Context,
+    /// Seconds since the user's last hidden-state update (0 for cold start).
+    pub elapsed_secs: i64,
+}
+
+/// A session-close hidden-state update request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UpdateRequest {
+    /// The user whose session closed.
+    pub user_id: UserId,
+    /// Session-start timestamp (UNIX seconds).
+    pub timestamp: i64,
+    /// Context observed during the session.
+    pub context: Context,
+    /// Seconds between this session and the previous state update.
+    pub delta_t_secs: i64,
+    /// Whether the user accessed the activity during the session.
+    pub accessed: bool,
+}
+
+/// A served prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Prediction {
+    /// The user the prediction is for.
+    pub user_id: UserId,
+    /// Predicted access probability.
+    pub probability: f64,
+}
+
+/// Counters describing scheduler behavior.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedulerStats {
+    /// Predictions served.
+    pub predictions: u64,
+    /// Hidden-state updates applied.
+    pub updates: u64,
+    /// Forward passes executed (batched or singleton).
+    pub batches: u64,
+    /// Largest batch coalesced into one forward pass.
+    pub largest_batch: usize,
+}
+
+impl SchedulerStats {
+    /// Mean requests per forward pass (1.0 when nothing ran).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            1.0
+        } else {
+            (self.predictions + self.updates) as f64 / self.batches as f64
+        }
+    }
+}
+
+/// Synchronous batching core: queue session-start requests, then flush them
+/// through batched forward passes against a sharded state store.
+#[derive(Debug)]
+pub struct BatchScheduler<'a> {
+    model: &'a RnnModel,
+    store: &'a ShardedStateStore,
+    max_batch: usize,
+    queue: VecDeque<PredictRequest>,
+    stats: SchedulerStats,
+}
+
+impl<'a> BatchScheduler<'a> {
+    /// Creates a scheduler around a model and sharded store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` is zero.
+    pub fn new(model: &'a RnnModel, store: &'a ShardedStateStore, max_batch: usize) -> Self {
+        assert!(max_batch > 0, "max_batch must be positive");
+        Self {
+            model,
+            store,
+            max_batch,
+            queue: VecDeque::new(),
+            stats: SchedulerStats::default(),
+        }
+    }
+
+    /// The configured maximum batch size.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// Number of queued, not-yet-flushed requests.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> SchedulerStats {
+        self.stats
+    }
+
+    /// Queues one session-start request.
+    pub fn submit(&mut self, request: PredictRequest) {
+        self.queue.push_back(request);
+    }
+
+    /// Flushes the queue, serving every pending request in batches of up to
+    /// `max_batch`. Results are in submission order.
+    pub fn flush(&mut self) -> Vec<Prediction> {
+        let requests: Vec<PredictRequest> = self.queue.drain(..).collect();
+        let mut out = Vec::with_capacity(requests.len());
+        for chunk in requests.chunks(self.max_batch) {
+            out.extend(predict_chunk(self.model, self.store, chunk));
+            self.stats.predictions += chunk.len() as u64;
+            self.stats.batches += 1;
+            self.stats.largest_batch = self.stats.largest_batch.max(chunk.len());
+        }
+        out
+    }
+
+    /// Convenience: submit a whole wave of concurrent requests and flush.
+    pub fn run(&mut self, requests: impl IntoIterator<Item = PredictRequest>) -> Vec<Prediction> {
+        for request in requests {
+            self.submit(request);
+        }
+        self.flush()
+    }
+
+    /// Applies session-close updates in batches of up to `max_batch`,
+    /// advancing and re-storing each user's hidden state.
+    ///
+    /// Multiple updates for the *same* user are applied in order: a batch
+    /// never contains the same user twice, so the second update reads the
+    /// state the first one wrote.
+    pub fn apply_updates(&mut self, requests: &[UpdateRequest]) {
+        let mut remaining: VecDeque<&UpdateRequest> = requests.iter().collect();
+        while !remaining.is_empty() {
+            // Greedily take up to max_batch requests with distinct users;
+            // same-user duplicates are deferred to a later round. Once the
+            // chunk fills we stop scanning, so each round is O(chunk +
+            // duplicates), not O(remaining).
+            let mut chunk: Vec<&UpdateRequest> = Vec::new();
+            let mut seen = HashSet::new();
+            let mut deferred: Vec<&UpdateRequest> = Vec::new();
+            while chunk.len() < self.max_batch {
+                let Some(request) = remaining.pop_front() else {
+                    break;
+                };
+                if seen.insert(request.user_id) {
+                    chunk.push(request);
+                } else {
+                    deferred.push(request);
+                }
+            }
+            // Deferred duplicates precede everything still in `remaining` in
+            // the original sequence, so put them back at the front to keep
+            // per-user ordering.
+            for request in deferred.into_iter().rev() {
+                remaining.push_front(request);
+            }
+
+            let states: Vec<Vec<f32>> = chunk
+                .iter()
+                .map(|r| {
+                    self.store
+                        .get_state(r.user_id)
+                        .unwrap_or_else(|| self.model.initial_state())
+                })
+                .collect();
+            let inputs: Vec<Vec<f32>> = chunk
+                .iter()
+                .map(|r| {
+                    self.model.featurizer().update_input(
+                        r.timestamp,
+                        &r.context,
+                        r.delta_t_secs,
+                        r.accessed,
+                    )
+                })
+                .collect();
+            let next_states = if chunk.len() == 1 {
+                vec![self.model.advance_state(&states[0], &inputs[0])]
+            } else {
+                self.model.advance_state_batch(&states, &inputs)
+            };
+            for (request, next) in chunk.iter().zip(&next_states) {
+                self.store.put_state(request.user_id, next);
+            }
+            self.stats.updates += chunk.len() as u64;
+            self.stats.batches += 1;
+            self.stats.largest_batch = self.stats.largest_batch.max(chunk.len());
+        }
+    }
+}
+
+/// Serves one chunk of predictions (shared by the scheduler and the
+/// threaded engine); callers account for batching statistics themselves.
+/// Singleton chunks take the plain single-request path so `max_batch = 1`
+/// reproduces the baseline exactly.
+fn predict_chunk(
+    model: &RnnModel,
+    store: &ShardedStateStore,
+    chunk: &[PredictRequest],
+) -> Vec<Prediction> {
+    let states: Vec<Vec<f32>> = chunk
+        .iter()
+        .map(|r| {
+            store
+                .get_state(r.user_id)
+                .unwrap_or_else(|| model.initial_state())
+        })
+        .collect();
+    let inputs: Vec<Vec<f32>> = chunk
+        .iter()
+        .map(|r| {
+            model
+                .featurizer()
+                .predict_input(r.timestamp, &r.context, r.elapsed_secs)
+        })
+        .collect();
+    let probabilities = if chunk.len() == 1 {
+        vec![model.predict_proba(&states[0], &inputs[0])]
+    } else {
+        model.predict_proba_batch(&states, &inputs)
+    };
+    chunk
+        .iter()
+        .zip(probabilities)
+        .map(|(request, probability)| Prediction {
+            user_id: request.user_id,
+            probability,
+        })
+        .collect()
+}
+
+#[derive(Debug)]
+struct Job {
+    request: PredictRequest,
+    reply: mpsc::Sender<Prediction>,
+}
+
+#[derive(Debug)]
+struct EngineShared {
+    model: Arc<RnnModel>,
+    store: Arc<ShardedStateStore>,
+    max_batch: usize,
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    predictions: AtomicU64,
+    batches: AtomicU64,
+    largest_batch: AtomicUsize,
+}
+
+/// Aggregate counters of a [`BatchServingEngine`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Predictions served.
+    pub predictions: u64,
+    /// Forward passes executed.
+    pub batches: u64,
+    /// Largest coalesced batch.
+    pub largest_batch: usize,
+}
+
+impl EngineStats {
+    /// Mean requests per forward pass (1.0 when nothing ran).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            1.0
+        } else {
+            self.predictions as f64 / self.batches as f64
+        }
+    }
+}
+
+/// A multi-threaded batched prediction server: `workers` threads drain a
+/// shared queue in batches of up to `max_batch` and reply per request.
+///
+/// With `max_batch = 1` every request takes the single-request path, which
+/// is exactly the baseline the `load_gen` benchmark compares against.
+#[derive(Debug)]
+pub struct BatchServingEngine {
+    shared: Arc<EngineShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl BatchServingEngine {
+    /// Starts `workers` worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` or `max_batch` is zero.
+    pub fn start(
+        model: Arc<RnnModel>,
+        store: Arc<ShardedStateStore>,
+        workers: usize,
+        max_batch: usize,
+    ) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        assert!(max_batch > 0, "max_batch must be positive");
+        let shared = Arc::new(EngineShared {
+            model,
+            store,
+            max_batch,
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            predictions: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            largest_batch: AtomicUsize::new(0),
+        });
+        let workers = (0..workers)
+            .map(|_| {
+                let shared = shared.clone();
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// Submits a request; the returned receiver yields the prediction once a
+    /// worker has served its batch.
+    pub fn submit(&self, request: PredictRequest) -> mpsc::Receiver<Prediction> {
+        let (reply, receiver) = mpsc::channel();
+        {
+            let mut queue = self.shared.queue.lock().expect("engine queue");
+            queue.push_back(Job { request, reply });
+        }
+        self.shared.available.notify_one();
+        receiver
+    }
+
+    /// Submits a burst of requests under one queue lock — the natural entry
+    /// point for front-ends that already hold several concurrent session
+    /// starts, and what lets workers coalesce full batches instead of
+    /// draining a trickle.
+    pub fn submit_many(&self, requests: &[PredictRequest]) -> Vec<mpsc::Receiver<Prediction>> {
+        let mut receivers = Vec::with_capacity(requests.len());
+        {
+            let mut queue = self.shared.queue.lock().expect("engine queue");
+            for &request in requests {
+                let (reply, receiver) = mpsc::channel();
+                queue.push_back(Job { request, reply });
+                receivers.push(receiver);
+            }
+        }
+        self.shared.available.notify_all();
+        receivers
+    }
+
+    /// Submits a request and blocks for the prediction.
+    pub fn predict_blocking(&self, request: PredictRequest) -> Prediction {
+        self.submit(request)
+            .recv()
+            .expect("engine worker dropped the reply channel")
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            predictions: self.shared.predictions.load(Ordering::Relaxed),
+            batches: self.shared.batches.load(Ordering::Relaxed),
+            largest_batch: self.shared.largest_batch.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for BatchServingEngine {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.available.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &EngineShared) {
+    loop {
+        let jobs: Vec<Job> = {
+            let mut queue = shared.queue.lock().expect("engine queue");
+            loop {
+                if !queue.is_empty() {
+                    let take = queue.len().min(shared.max_batch);
+                    break queue.drain(..take).collect();
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = shared.available.wait(queue).expect("engine condvar wait");
+            }
+        };
+
+        let requests: Vec<PredictRequest> = jobs.iter().map(|j| j.request).collect();
+        let predictions = predict_chunk(&shared.model, &shared.store, &requests);
+        shared
+            .predictions
+            .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+        shared.batches.fetch_add(1, Ordering::Relaxed);
+        shared
+            .largest_batch
+            .fetch_max(jobs.len(), Ordering::Relaxed);
+        for (job, prediction) in jobs.iter().zip(predictions) {
+            // A dropped receiver (client gave up) is not an engine error.
+            let _ = job.reply.send(prediction);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_data::schema::{DatasetKind, Tab};
+    use pp_rnn::{RnnModelConfig, TaskKind};
+
+    fn model() -> RnnModel {
+        RnnModel::new(
+            DatasetKind::MobileTab,
+            TaskKind::PerSession,
+            RnnModelConfig::tiny(),
+            11,
+        )
+    }
+
+    fn request(id: u64, i: i64) -> PredictRequest {
+        PredictRequest {
+            user_id: UserId(id),
+            timestamp: 10_000 + i * 37,
+            context: Context::MobileTab {
+                unread_count: (i % 9) as u8,
+                active_tab: Tab::ALL[(i % Tab::ALL.len() as i64) as usize],
+            },
+            elapsed_secs: 300 + i,
+        }
+    }
+
+    #[test]
+    fn scheduler_matches_single_request_path() {
+        let m = model();
+        let store = ShardedStateStore::new(4);
+        // Give some users warm states.
+        for id in 0..10u64 {
+            let mut h = m.initial_state();
+            for step in 0..id {
+                let ctx = Context::MobileTab {
+                    unread_count: 1,
+                    active_tab: Tab::Home,
+                };
+                h = m.advance_state(
+                    &h,
+                    &m.featurizer().update_input(step as i64, &ctx, 60, true),
+                );
+            }
+            store.put_state(UserId(id), &h);
+        }
+        let requests: Vec<PredictRequest> = (0..25).map(|i| request(i as u64 % 13, i)).collect();
+
+        let mut batched = BatchScheduler::new(&m, &store, 8);
+        let results = batched.run(requests.iter().copied());
+
+        assert_eq!(results.len(), requests.len());
+        for (request, result) in requests.iter().zip(&results) {
+            assert_eq!(request.user_id, result.user_id);
+            let state = store
+                .get_state(request.user_id)
+                .unwrap_or_else(|| m.initial_state());
+            let input = m.featurizer().predict_input(
+                request.timestamp,
+                &request.context,
+                request.elapsed_secs,
+            );
+            let single = m.predict_proba(&state, &input);
+            assert!(
+                (result.probability - single).abs() < 1e-6,
+                "user {}: batched {} vs single {}",
+                request.user_id,
+                result.probability,
+                single
+            );
+        }
+        let stats = batched.stats();
+        assert_eq!(stats.predictions, 25);
+        assert_eq!(stats.largest_batch, 8);
+        // 25 requests at max_batch 8 -> 4 forward passes, not 25.
+        assert_eq!(stats.batches, 4);
+    }
+
+    #[test]
+    fn updates_for_the_same_user_apply_in_order() {
+        let m = model();
+        let store = ShardedStateStore::new(2);
+        let ctx = Context::MobileTab {
+            unread_count: 2,
+            active_tab: Tab::Home,
+        };
+        let updates: Vec<UpdateRequest> = (0..6)
+            .map(|i| UpdateRequest {
+                user_id: UserId(5),
+                timestamp: 1_000 * i,
+                context: ctx,
+                delta_t_secs: 600,
+                accessed: i % 2 == 0,
+            })
+            .collect();
+        let mut scheduler = BatchScheduler::new(&m, &store, 4);
+        scheduler.apply_updates(&updates);
+
+        // Sequential reference.
+        let mut h = m.initial_state();
+        for u in &updates {
+            h = m.advance_state(
+                &h,
+                &m.featurizer()
+                    .update_input(u.timestamp, &u.context, u.delta_t_secs, u.accessed),
+            );
+        }
+        let stored = store.get_state(UserId(5)).unwrap();
+        for (a, b) in stored.iter().zip(&h) {
+            assert!((a - b).abs() < 1e-6);
+        }
+        assert_eq!(scheduler.stats().updates, 6);
+    }
+
+    #[test]
+    fn engine_serves_concurrent_clients_identically_to_single_path() {
+        let m = Arc::new(model());
+        let store = Arc::new(ShardedStateStore::new(8));
+        let engine = BatchServingEngine::start(m.clone(), store.clone(), 2, 16);
+
+        let receivers: Vec<(PredictRequest, mpsc::Receiver<Prediction>)> = (0..64)
+            .map(|i| {
+                let r = request(i as u64 % 7, i);
+                let receiver = engine.submit(r);
+                (r, receiver)
+            })
+            .collect();
+        for (request, receiver) in receivers {
+            let prediction = receiver.recv().unwrap();
+            assert_eq!(prediction.user_id, request.user_id);
+            let state = store
+                .get_state(request.user_id)
+                .unwrap_or_else(|| m.initial_state());
+            let input = m.featurizer().predict_input(
+                request.timestamp,
+                &request.context,
+                request.elapsed_secs,
+            );
+            assert!((prediction.probability - m.predict_proba(&state, &input)).abs() < 1e-6);
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.predictions, 64);
+        assert!(stats.batches <= 64);
+        drop(engine); // clean shutdown without panics
+    }
+
+    #[test]
+    fn submit_many_coalesces_and_answers_every_request() {
+        let m = Arc::new(model());
+        let store = Arc::new(ShardedStateStore::new(4));
+        let engine = BatchServingEngine::start(m.clone(), store.clone(), 1, 32);
+        let requests: Vec<PredictRequest> = (0..48).map(|i| request(i as u64 % 9, i)).collect();
+        let receivers = engine.submit_many(&requests);
+        assert_eq!(receivers.len(), requests.len());
+        for (request, receiver) in requests.iter().zip(receivers) {
+            let prediction = receiver.recv().unwrap();
+            assert_eq!(prediction.user_id, request.user_id);
+            let state = store
+                .get_state(request.user_id)
+                .unwrap_or_else(|| m.initial_state());
+            let input = m.featurizer().predict_input(
+                request.timestamp,
+                &request.context,
+                request.elapsed_secs,
+            );
+            assert!((prediction.probability - m.predict_proba(&state, &input)).abs() < 1e-6);
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.predictions, 48);
+        // 48 requests in one burst, max_batch 32 -> at most a handful of
+        // forward passes, and at least one genuinely coalesced batch.
+        assert!(stats.batches < 48, "batches = {}", stats.batches);
+        assert!(stats.largest_batch > 1);
+    }
+
+    #[test]
+    fn max_batch_one_is_the_single_request_baseline() {
+        let m = model();
+        let store = ShardedStateStore::new(2);
+        let mut scheduler = BatchScheduler::new(&m, &store, 1);
+        let results = scheduler.run((0..5).map(|i| request(i as u64, i)));
+        assert_eq!(results.len(), 5);
+        let stats = scheduler.stats();
+        assert_eq!(stats.batches, 5);
+        assert_eq!(stats.largest_batch, 1);
+        assert!((stats.mean_batch_size() - 1.0).abs() < 1e-12);
+    }
+}

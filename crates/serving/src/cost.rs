@@ -106,8 +106,7 @@ pub fn baseline_profile(
     let bytes_per_prediction = lookups * bytes_per_key;
     // GBDT evaluation: one comparison per tree level, plus the feature-vector
     // assembly which is proportional to its dimensionality.
-    let model_flops =
-        gbdt.comparisons_per_prediction() as f64 + featurizer.dims() as f64;
+    let model_flops = gbdt.comparisons_per_prediction() as f64 + featurizer.dims() as f64;
     ServingProfile {
         lookups_per_prediction: lookups,
         bytes_per_prediction,
@@ -130,7 +129,11 @@ pub fn rnn_profile(model: &RnnModel) -> ServingProfile {
 }
 
 /// Combines two profiles under the cost weights.
-pub fn compare(baseline: ServingProfile, rnn: ServingProfile, weights: CostWeights) -> CostComparison {
+pub fn compare(
+    baseline: ServingProfile,
+    rnn: ServingProfile,
+    weights: CostWeights,
+) -> CostComparison {
     let total = |p: &ServingProfile| {
         p.lookups_per_prediction * weights.flops_per_lookup
             + p.bytes_per_prediction * weights.flops_per_byte
@@ -234,7 +237,13 @@ mod tests {
             BaselineFeaturizer::new(ds.kind, FeatureSet::Full, ElapsedEncoding::Scalar);
         let idx: Vec<usize> = (0..3).collect();
         let examples = build_session_examples(&ds, &idx, &featurizer, None);
-        let gbdt = Gbdt::train(&examples, GbdtConfig { num_trees: 3, ..Default::default() });
+        let gbdt = Gbdt::train(
+            &examples,
+            GbdtConfig {
+                num_trees: 3,
+                ..Default::default()
+            },
+        );
         let p = baseline_profile(&ds, &idx, &featurizer, &gbdt);
         // MobileTab: 4 subsets × 4 windows + 4 elapsed = 20 lookups (§9).
         assert_eq!(p.lookups_per_prediction, 20.0);

@@ -122,7 +122,10 @@ pub fn encode_state_f32(state: &[f32]) -> Bytes {
 ///
 /// Panics if the byte length is not a multiple of 4.
 pub fn decode_state_f32(bytes: &Bytes) -> Vec<f32> {
-    assert!(bytes.len() % 4 == 0, "state byte length must be a multiple of 4");
+    assert!(
+        bytes.len().is_multiple_of(4),
+        "state byte length must be a multiple of 4"
+    );
     bytes
         .chunks_exact(4)
         .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
@@ -225,7 +228,10 @@ mod tests {
         store.reset_stats();
         assert_eq!(store.stats().reads, 0);
         assert_eq!(store.stored_bytes(), 5);
-        assert_eq!(store.remove("user-1").unwrap(), Bytes::from_static(b"hello"));
+        assert_eq!(
+            store.remove("user-1").unwrap(),
+            Bytes::from_static(b"hello")
+        );
         assert!(store.is_empty());
     }
 

@@ -16,17 +16,32 @@
 //!   cost reduction;
 //! * [`online`] — the day-by-day online comparison of RNN vs GBDT on
 //!   cold-start users (Figure 7) and the successful-prefetch lift at a
-//!   target precision.
+//!   target precision;
+//! * [`sharded`] — the throughput-oriented [`ShardedStateStore`]: N
+//!   independent hidden-state shards keyed by user-id hash, serving
+//!   concurrently;
+//! * [`batch`] — the [`BatchScheduler`] and multi-threaded
+//!   [`BatchServingEngine`] coalescing concurrent session starts into
+//!   batched forward passes (one matmul per batch instead of per user).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batch;
 pub mod cost;
 pub mod kv_store;
 pub mod online;
 pub mod pipeline;
+pub mod sharded;
 
-pub use cost::{baseline_profile, compare, rnn_profile, CostComparison, CostWeights, ServingProfile};
+pub use batch::{
+    BatchScheduler, BatchServingEngine, EngineStats, PredictRequest, Prediction, SchedulerStats,
+    UpdateRequest,
+};
+pub use cost::{
+    baseline_profile, compare, rnn_profile, CostComparison, CostWeights, ServingProfile,
+};
 pub use kv_store::{decode_state_f32, encode_state_f32, KvStore, QuantizedState, StoreStats};
 pub use online::{daily_metrics, run_online_comparison, DailyMetric, OnlineComparison};
 pub use pipeline::{ServingOutcome, ServingPipeline};
+pub use sharded::ShardedStateStore;

@@ -143,9 +143,24 @@ mod tests {
     #[test]
     fn daily_metrics_slice_by_day() {
         let preds = vec![
-            ScoredPrediction { user_index: 0, day_offset: 0, score: 0.9, label: true },
-            ScoredPrediction { user_index: 0, day_offset: 0, score: 0.1, label: false },
-            ScoredPrediction { user_index: 1, day_offset: 1, score: 0.8, label: true },
+            ScoredPrediction {
+                user_index: 0,
+                day_offset: 0,
+                score: 0.9,
+                label: true,
+            },
+            ScoredPrediction {
+                user_index: 0,
+                day_offset: 0,
+                score: 0.1,
+                label: false,
+            },
+            ScoredPrediction {
+                user_index: 1,
+                day_offset: 1,
+                score: 0.8,
+                label: true,
+            },
         ];
         let daily = daily_metrics(&preds, 3);
         assert_eq!(daily.len(), 3);
@@ -171,7 +186,11 @@ mod tests {
         let examples = build_session_examples(&ds, &idx, &featurizer, None);
         let gbdt = Gbdt::train(
             &examples,
-            pp_baselines::GbdtConfig { num_trees: 10, max_depth: 3, ..Default::default() },
+            pp_baselines::GbdtConfig {
+                num_trees: 10,
+                max_depth: 3,
+                ..Default::default()
+            },
         );
         let rnn = RnnModel::new(
             DatasetKind::MobileTab,

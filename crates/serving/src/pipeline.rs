@@ -163,7 +163,8 @@ impl<'a> ServingPipeline<'a> {
         );
         let next = self.model.advance_state(&prev_state, &update_input);
         self.store.put(key, encode_state_f32(&next));
-        self.last_update_ts.insert(buffered.user_id, buffered.start_ts);
+        self.last_update_ts
+            .insert(buffered.user_id, buffered.start_ts);
         self.outcome.hidden_updates += 1;
         self.outcome.update_flops += self.model.update_flops();
     }
@@ -228,13 +229,16 @@ impl<'a> ServingPipeline<'a> {
             // 3. Buffer the session; its timer fires after the session
             //    window closes plus the update latency.
             let fire_at = ts + self.lag.delta();
-            self.timers.entry(fire_at).or_default().push(BufferedSession {
-                user_id,
-                user_index: ui,
-                session_index: si,
-                start_ts: ts,
-                accessed: session.accessed,
-            });
+            self.timers
+                .entry(fire_at)
+                .or_default()
+                .push(BufferedSession {
+                    user_id,
+                    user_index: ui,
+                    session_index: si,
+                    start_ts: ts,
+                    accessed: session.accessed,
+                });
         }
         // Drain remaining timers.
         self.fire_timers_up_to(i64::MAX);
@@ -332,6 +336,9 @@ mod tests {
             outcome.predict_flops,
             outcome.predictions * m.predict_flops()
         );
-        assert_eq!(outcome.update_flops, outcome.hidden_updates * m.update_flops());
+        assert_eq!(
+            outcome.update_flops,
+            outcome.hidden_updates * m.update_flops()
+        );
     }
 }

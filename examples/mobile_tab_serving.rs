@@ -14,9 +14,7 @@
 use predictive_precompute::core::PrecomputePolicy;
 use predictive_precompute::data::schema::DatasetKind;
 use predictive_precompute::data::split::UserSplit;
-use predictive_precompute::data::synth::{
-    MobileTabConfig, MobileTabGenerator, SyntheticGenerator,
-};
+use predictive_precompute::data::synth::{MobileTabConfig, MobileTabGenerator, SyntheticGenerator};
 use predictive_precompute::rnn::{
     scores_and_labels, RnnModel, RnnModelConfig, RnnTrainer, TaskKind, TrainerConfig,
 };
@@ -78,7 +76,10 @@ fn main() {
     println!("\nServing replay over test users:");
     println!("  predictions served      : {}", outcome.predictions);
     println!("  precomputes triggered   : {}", outcome.precomputes);
-    println!("  successful prefetches   : {}", outcome.successful_prefetches);
+    println!(
+        "  successful prefetches   : {}",
+        outcome.successful_prefetches
+    );
     println!("  wasted prefetches       : {}", outcome.wasted_prefetches);
     println!("  missed accesses         : {}", outcome.missed_accesses);
     println!("  achieved precision      : {:.3}", outcome.precision());
@@ -87,7 +88,10 @@ fn main() {
     let stats = pipeline.store().stats();
     println!("\nHidden-state store traffic:");
     println!("  reads  : {} ({} bytes)", stats.reads, stats.bytes_read);
-    println!("  writes : {} ({} bytes)", stats.writes, stats.bytes_written);
+    println!(
+        "  writes : {} ({} bytes)",
+        stats.writes, stats.bytes_written
+    );
     println!("  keys   : {} (one per user)", pipeline.store().len());
     println!(
         "  model compute: {} predict FLOPs + {} update FLOPs",

@@ -10,9 +10,7 @@
 
 use predictive_precompute::core::{run_offline_experiment, ModelKind, OfflineExperimentConfig};
 use predictive_precompute::data::schema::Context;
-use predictive_precompute::data::synth::{
-    MobileTabConfig, MobileTabGenerator, SyntheticGenerator,
-};
+use predictive_precompute::data::synth::{MobileTabConfig, MobileTabGenerator, SyntheticGenerator};
 use predictive_precompute::metrics::report::format_comparison_table;
 use predictive_precompute::rnn::{RnnModelConfig, TrainerConfig};
 
@@ -33,7 +31,10 @@ fn main() {
 
     // 2. Print a few raw access-log rows (the shape of Table 1).
     println!("\nSample access log (Table 1 format):");
-    println!("{:<12} {:<12} {:<8} {:<10}", "TIMESTAMP", "ACCESS FLAG", "UNREAD", "ACTIVE TAB");
+    println!(
+        "{:<12} {:<12} {:<8} {:<10}",
+        "TIMESTAMP", "ACCESS FLAG", "UNREAD", "ACTIVE TAB"
+    );
     if let Some(user) = dataset.users.iter().find(|u| u.num_accesses() > 0) {
         for s in user.sessions.iter().take(5) {
             if let Context::MobileTab {

@@ -51,7 +51,10 @@ fn main() {
         ..OfflineExperimentConfig::fast()
     };
     let models = [ModelKind::PercentageBased, ModelKind::Gbdt, ModelKind::Rnn];
-    println!("\nTraining {} models on the timeshifted task…", models.len());
+    println!(
+        "\nTraining {} models on the timeshifted task…",
+        models.len()
+    );
     let evals = run_offline_experiment(&dataset, &models, &config);
 
     println!(

@@ -1,0 +1,140 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Keeps the `proptest!` macro surface — strategies, `prop_map`,
+//! `prop::collection::vec`, `any::<T>()`, `prop_assert*`, `prop_assume!` —
+//! but replaces the adaptive shrinking engine with a fixed number of
+//! deterministic seeded cases per test (64 by default, overridable via the
+//! `PROPTEST_CASES` environment variable). Failures therefore reproduce
+//! exactly across runs; there is no shrinking, so the failing case prints
+//! as-is.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{any, Any, Just, Map, Strategy};
+
+/// Why a test case did not complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` — skipped, not failed.
+    Reject,
+}
+
+/// Runtime support for the `proptest!` macro; not public API.
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+
+    /// Number of cases per property (default 64).
+    pub fn cases() -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+}
+
+/// Default RNG used to generate cases.
+pub type TestRng = StdRng;
+
+/// The prelude: everything a property test file needs.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, Any, Just, Map, Strategy};
+    pub use crate::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over deterministic seeded cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            use $crate::__rt::SeedableRng as _;
+            let __cases = $crate::__rt::cases();
+            let mut __rng = $crate::__rt::StdRng::seed_from_u64(0x5eed_0000u64 ^ __cases as u64);
+            for __case in 0..__cases {
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut __rng);)*
+                // The closure exists so prop_assume! can early-return a
+                // rejection without aborting the whole test.
+                #[allow(clippy::redundant_closure_call)]
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err($crate::TestCaseError::Reject) => continue,
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { ::std::assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { ::std::assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { ::std::assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { ::std::assert_eq!($left, $right, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { ::std::assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { ::std::assert_ne!($left, $right, $($fmt)*) };
+}
+
+/// Skips the current case unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn addition_commutes(a in 0i64..1000, b in 0i64..1000) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn assume_skips_without_failing(v in 0u32..10) {
+            prop_assume!(v % 2 == 0);
+            prop_assert!(v % 2 == 0);
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(items in prop::collection::vec(any::<bool>(), 2..7)) {
+            prop_assert!((2..7).contains(&items.len()));
+        }
+
+        #[test]
+        fn map_applies(doubled in (1u8..100).prop_map(|v| v as u32 * 2)) {
+            prop_assert!(doubled % 2 == 0);
+            prop_assert!((2..200).contains(&doubled));
+        }
+    }
+}

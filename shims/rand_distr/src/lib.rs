@@ -1,0 +1,197 @@
+//! Offline stand-in for the `rand_distr` crate.
+//!
+//! Provides the three distributions the synthetic-data generators and weight
+//! initializers use — [`Normal`], [`LogNormal`], [`Uniform`] — on top of the
+//! workspace `rand` shim. `Normal` uses Box–Muller, which is fully adequate
+//! here (no tail-accuracy requirements).
+
+#![warn(missing_docs)]
+
+use rand::Rng;
+use std::fmt;
+
+pub use rand::distributions::Distribution;
+
+/// Error returned by distribution constructors on invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalError {
+    /// The standard deviation (or shape parameter) was negative or NaN.
+    BadVariance,
+    /// The mean (or location parameter) was NaN.
+    MeanTooSmall,
+}
+
+impl fmt::Display for NormalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NormalError::BadVariance => write!(f, "standard deviation is negative or NaN"),
+            NormalError::MeanTooSmall => write!(f, "mean is NaN"),
+        }
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// Gaussian distribution parameterized by mean and standard deviation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a Gaussian with the given mean and standard deviation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `std_dev` is negative or either parameter is NaN.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if mean.is_nan() {
+            return Err(NormalError::MeanTooSmall);
+        }
+        if std_dev.is_nan() || std_dev < 0.0 {
+            return Err(NormalError::BadVariance);
+        }
+        Ok(Self { mean, std_dev })
+    }
+
+    /// The mean parameter.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The standard-deviation parameter.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller transform; resample u1 away from 0 so ln() is finite.
+        let mut u1: f64 = rng.gen();
+        while u1 <= f64::MIN_POSITIVE {
+            u1 = rng.gen();
+        }
+        let u2: f64 = rng.gen();
+        let radius = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.mean + self.std_dev * radius * theta.cos()
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// Creates a log-normal whose logarithm has the given mean and standard
+    /// deviation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `sigma` is negative or either parameter is NaN.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, NormalError> {
+        Ok(Self {
+            norm: Normal::new(mu, sigma)?,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+/// Uniform distribution over an interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    low: f64,
+    span: f64,
+    inclusive: bool,
+}
+
+impl Uniform {
+    /// Uniform over the half-open interval `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high`.
+    pub fn new(low: f64, high: f64) -> Self {
+        assert!(low < high, "Uniform::new: low must be < high");
+        Self {
+            low,
+            span: high - low,
+            inclusive: false,
+        }
+    }
+
+    /// Uniform over the closed interval `[low, high]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low > high`.
+    pub fn new_inclusive(low: f64, high: f64) -> Self {
+        assert!(low <= high, "Uniform::new_inclusive: low must be <= high");
+        Self {
+            low,
+            span: high - low,
+            inclusive: true,
+        }
+    }
+}
+
+impl Distribution<f64> for Uniform {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let unit: f64 = rng.gen();
+        self.low + self.span * unit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let dist = Normal::new(3.0, 2.0).unwrap();
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean = {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var = {var}");
+    }
+
+    #[test]
+    fn normal_rejects_bad_params() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let dist = LogNormal::new(0.0, 1.0).unwrap();
+        for _ in 0..1000 {
+            assert!(dist.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let dist = Uniform::new_inclusive(-0.5, 0.5);
+        for _ in 0..1000 {
+            let v = dist.sample(&mut rng);
+            assert!((-0.5..=0.5).contains(&v));
+        }
+    }
+}

@@ -20,7 +20,7 @@ fn fast_config() -> OfflineExperimentConfig {
     OfflineExperimentConfig {
         rnn_model: RnnModelConfig::tiny(),
         rnn_trainer: TrainerConfig {
-            epochs: 6,
+            epochs: 8,
             learning_rate: 3e-3,
             train_last_days: 10,
             ..Default::default()

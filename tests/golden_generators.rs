@@ -1,0 +1,134 @@
+//! Seeded golden tests for the three synthetic generators.
+//!
+//! Each test generates a dataset at a fixed seed and asserts (a) dataset
+//! shape, (b) label rate, and (c) an FNV-1a hash over a canonical rendering
+//! of the first rows. A refactor of a generator (or of the shim RNG
+//! underneath it) that silently changes the produced distribution will
+//! flip at least the hash; intentional changes must update the constants
+//! below *consciously*.
+
+use predictive_precompute::data::synth::{
+    MobileTabConfig, MobileTabGenerator, MpuConfig, MpuGenerator, SyntheticGenerator,
+    TimeshiftConfig, TimeshiftGenerator,
+};
+use predictive_precompute::data::Dataset;
+
+/// Rows hashed from the head of each dataset.
+const GOLDEN_ROWS: usize = 200;
+
+/// FNV-1a over a canonical per-session rendering, user-major in dataset
+/// order: `user_id|timestamp|accessed|context-debug`.
+fn golden_hash(dataset: &Dataset, rows: usize) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut remaining = rows;
+    'outer: for user in &dataset.users {
+        for session in &user.sessions {
+            if remaining == 0 {
+                break 'outer;
+            }
+            remaining -= 1;
+            let line = format!(
+                "{}|{}|{}|{:?}\n",
+                user.user_id, session.timestamp, session.accessed, session.context
+            );
+            for byte in line.bytes() {
+                hash ^= byte as u64;
+                hash = hash.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+    }
+    hash
+}
+
+struct Golden {
+    users: usize,
+    sessions: usize,
+    positive_rate: f64,
+    head_hash: u64,
+}
+
+fn check(name: &str, dataset: &Dataset, golden: Golden) {
+    assert_eq!(
+        dataset.num_users(),
+        golden.users,
+        "{name}: user count drifted"
+    );
+    assert_eq!(
+        dataset.num_sessions(),
+        golden.sessions,
+        "{name}: session count drifted"
+    );
+    let rate = dataset.positive_rate();
+    assert!(
+        (rate - golden.positive_rate).abs() < 1e-12,
+        "{name}: label rate drifted: {rate} (golden {})",
+        golden.positive_rate
+    );
+    let hash = golden_hash(dataset, GOLDEN_ROWS);
+    assert_eq!(
+        hash, golden.head_hash,
+        "{name}: first-{GOLDEN_ROWS}-rows hash drifted: {hash:#018x} (golden {:#018x})",
+        golden.head_hash
+    );
+}
+
+#[test]
+fn mobile_tab_generator_is_frozen() {
+    let dataset = MobileTabGenerator::new(MobileTabConfig {
+        num_users: 50,
+        num_days: 10,
+        ..Default::default()
+    })
+    .generate();
+    check(
+        "MobileTab",
+        &dataset,
+        Golden {
+            users: 50,
+            sessions: 887,
+            positive_rate: 0.195_039_458_850_056_36,
+            head_hash: 0xd966_40ac_7369_4de1,
+        },
+    );
+}
+
+#[test]
+fn timeshift_generator_is_frozen() {
+    let dataset = TimeshiftGenerator::new(TimeshiftConfig {
+        num_users: 50,
+        num_days: 10,
+        ..Default::default()
+    })
+    .generate();
+    check(
+        "Timeshift",
+        &dataset,
+        Golden {
+            users: 50,
+            sessions: 555,
+            positive_rate: 0.151_351_351_351_351_36,
+            head_hash: 0xe8f1_9ede_5287_b368,
+        },
+    );
+}
+
+#[test]
+fn mpu_generator_is_frozen() {
+    let dataset = MpuGenerator::new(MpuConfig {
+        num_users: 30,
+        num_days: 10,
+        median_notifications_per_day: 8.0,
+        ..Default::default()
+    })
+    .generate();
+    check(
+        "MPU",
+        &dataset,
+        Golden {
+            users: 30,
+            sessions: 3354,
+            positive_rate: 0.476_744_186_046_511_64,
+            head_hash: 0xf72d_13b6_a536_476f,
+        },
+    );
+}

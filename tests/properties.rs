@@ -5,8 +5,8 @@ use predictive_precompute::data::DatasetKind;
 use predictive_precompute::features::aggregation::AggregationState;
 use predictive_precompute::features::encoding::{time_bucket, TIME_BUCKETS};
 use predictive_precompute::features::rnn_input::RnnFeaturizer;
-use predictive_precompute::metrics::pr::PrCurve;
 use predictive_precompute::metrics::classification::{log_loss, roc_auc};
+use predictive_precompute::metrics::pr::PrCurve;
 use predictive_precompute::nn::graph::Graph;
 use predictive_precompute::nn::tensor::Tensor;
 use predictive_precompute::rnn::sequence::{plan_per_session, LagConfig};
@@ -14,26 +14,24 @@ use proptest::prelude::*;
 
 /// Strategy producing an arbitrary MobileTab session history (sorted).
 fn session_history() -> impl Strategy<Value = Vec<Session>> {
-    prop::collection::vec(
-        (0i64..2_000_000, 0u8..100, 0usize..8, any::<bool>()),
-        0..60,
+    prop::collection::vec((0i64..2_000_000, 0u8..100, 0usize..8, any::<bool>()), 0..60).prop_map(
+        |raw| {
+            let mut sessions: Vec<Session> = raw
+                .into_iter()
+                .map(|(ts, unread, tab, accessed)| Session {
+                    timestamp: ts,
+                    context: Context::MobileTab {
+                        unread_count: unread.min(99),
+                        active_tab: Tab::ALL[tab],
+                    },
+                    accessed,
+                })
+                .collect();
+            sessions.sort_by_key(|s| s.timestamp);
+            sessions.dedup_by_key(|s| s.timestamp);
+            sessions
+        },
     )
-    .prop_map(|raw| {
-        let mut sessions: Vec<Session> = raw
-            .into_iter()
-            .map(|(ts, unread, tab, accessed)| Session {
-                timestamp: ts,
-                context: Context::MobileTab {
-                    unread_count: unread.min(99),
-                    active_tab: Tab::ALL[tab],
-                },
-                accessed,
-            })
-            .collect();
-        sessions.sort_by_key(|s| s.timestamp);
-        sessions.dedup_by_key(|s| s.timestamp);
-        sessions
-    })
 }
 
 proptest! {
@@ -149,5 +147,77 @@ proptest! {
             prop_assert!(p > 0.0 && p < 1.0 + 1e-9);
             accesses += f as usize;
         }
+    }
+
+    /// PR-AUC only depends on the *ranking* of scores: any strictly
+    /// increasing transform (here, an affine-compressed cube) leaves the
+    /// curve and its area unchanged.
+    #[test]
+    fn pr_auc_invariant_under_order_preserving_transforms(
+        scores in prop::collection::vec(0.0f64..1.0, 2..150),
+        flips in prop::collection::vec(any::<bool>(), 2..150),
+    ) {
+        let n = scores.len().min(flips.len());
+        let scores = &scores[..n];
+        let labels = &flips[..n];
+        let transformed: Vec<f64> = scores.iter().map(|&s| 0.05 + 0.9 * s.powi(3)).collect();
+        let base = PrCurve::compute(scores, labels).auc();
+        let mapped = PrCurve::compute(&transformed, labels).auc();
+        prop_assert!(
+            (base - mapped).abs() < 1e-9,
+            "AUC moved under monotone transform: {} vs {}", base, mapped
+        );
+    }
+
+    /// Demanding more precision can only cost recall: recall@precision is
+    /// monotone non-increasing in the precision target.
+    #[test]
+    fn recall_at_precision_monotone_in_target(
+        scores in prop::collection::vec(0.0f64..1.0, 2..150),
+        flips in prop::collection::vec(any::<bool>(), 2..150),
+    ) {
+        let n = scores.len().min(flips.len());
+        let curve = PrCurve::compute(&scores[..n], &flips[..n]);
+        let targets = [0.1, 0.25, 0.5, 0.75, 0.9];
+        let recalls: Vec<f64> = targets.iter().map(|&t| curve.recall_at_precision(t)).collect();
+        for pair in recalls.windows(2) {
+            prop_assert!(
+                pair[1] <= pair[0] + 1e-12,
+                "recall increased with the precision target: {:?}", recalls
+            );
+        }
+        for r in &recalls {
+            prop_assert!((0.0..=1.0).contains(r));
+        }
+    }
+
+    /// Sharded store: get-after-put round-trips through every shard, and the
+    /// state that comes back is the *last* state written for that user — no
+    /// bleed between users that hash to the same or different shards.
+    #[test]
+    fn sharded_store_roundtrips_without_state_bleed(
+        writes in prop::collection::vec(
+            (0u64..40, prop::collection::vec(-10.0f32..10.0, 4..12)),
+            1..120,
+        ),
+        shards in 1usize..12,
+    ) {
+        use predictive_precompute::data::schema::UserId;
+        use predictive_precompute::serving::ShardedStateStore;
+        use std::collections::HashMap;
+
+        let store = ShardedStateStore::new(shards);
+        let mut reference: HashMap<u64, Vec<f32>> = HashMap::new();
+        for (id, state) in &writes {
+            store.put_state(UserId(*id), state);
+            reference.insert(*id, state.clone());
+        }
+        prop_assert_eq!(store.len(), reference.len());
+        for (id, expected) in &reference {
+            let got = store.get_state(UserId(*id));
+            prop_assert_eq!(got.as_ref(), Some(expected), "user {} bled state", id);
+        }
+        // Users never written stay absent.
+        prop_assert!(store.get_state(UserId(10_000)).is_none());
     }
 }
