@@ -1,0 +1,446 @@
+//! `precompute_sim` — scenario-driven simulation of the budget-aware
+//! precompute subsystem (`pp-precompute`) on seeded synthetic traffic.
+//!
+//! Three traffic scenarios replay the same seeded MobileTab session log
+//! through a fresh [`PrecomputeSystem`] each:
+//!
+//! * **cold_start** — the raw stream against an empty system: every user's
+//!   first sessions arrive with no cache, a full budget bucket, and the
+//!   uncalibrated initial threshold;
+//! * **bursty** — timestamps quantized to 15-minute boundaries, so traffic
+//!   arrives as synchronized thundering herds that stress token-bucket
+//!   admission and the max-inflight cap, with idle refill windows between;
+//! * **diurnal** — off-peak sessions (23:00–07:59) thinned to ~30%,
+//!   producing the day/night load swing a production deployment sees.
+//!
+//! Scores come from a seeded noisy oracle (logistic noise around the
+//! ground-truth label) so the score→label relationship is controlled and
+//! the adaptive threshold controller has a real operating curve to track —
+//! the serving-engine integration itself is exercised separately by an
+//! `engine_smoke` stage that pushes real batched RNN scores through
+//! [`DecisionEngine::score_and_decide`].
+//!
+//! Environment knobs (defaults in parentheses): `PP_USERS` (400), `PP_DAYS`
+//! (30), `PP_SEED` (17), `PP_TARGET_PRECISION` (0.6), `PP_INITIAL_THRESHOLD`
+//! (0.5), `PP_WINDOW` (100), `PP_GAIN` (1.0), `PP_MAX_WAVE` (256),
+//! `PP_OUT` (`BENCH_precompute.json`), `PP_REQUIRE_PRECISION` (unset →
+//! report only; set e.g. `0.05` to exit non-zero when any scenario's
+//! steady-state precision misses the target by more than that).
+//!
+//! Hard invariants are asserted on every run regardless of knobs: outcome
+//! accounting exactly balances decisions (conservation) and the budget is
+//! never overdrawn.
+
+use pp_bench::{env_or, section, Scale};
+use pp_data::schema::{Context, DatasetKind, Tab, UserId};
+use pp_data::synth::{MobileTabGenerator, SyntheticGenerator};
+use pp_precompute::{
+    prefetch_cost_units, BudgetConfig, CacheConfig, ControllerConfig, DecisionEngine,
+    OutcomeCounts, PrecomputeSystem, SystemConfig,
+};
+use pp_rnn::{RnnModel, RnnModelConfig, TaskKind};
+use pp_serving::ShardedStateStore;
+use pp_serving::{rnn_profile, BatchServingEngine, CostWeights, PredictRequest, Prediction};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::sync::Arc;
+
+/// One session-start event of the replayed traffic.
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    timestamp: i64,
+    user: UserId,
+    accessed: bool,
+}
+
+#[derive(Debug, Clone, Copy, Serialize)]
+struct SimConfig {
+    users: usize,
+    days: u32,
+    seed: u64,
+    target_precision: f64,
+    initial_threshold: f64,
+    controller_window: usize,
+    controller_gain: f64,
+    max_wave: usize,
+    burst_prefetches: f64,
+    sustained_prefetches_per_sec: f64,
+    max_inflight: usize,
+    cost_per_prefetch_units: f64,
+    cache_ttl_secs: i64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct ScenarioResult {
+    scenario: String,
+    events: usize,
+    waves: usize,
+    scored: u64,
+    prefetches_executed: u64,
+    denied: u64,
+    outcomes: OutcomeCounts,
+    precision_overall: Option<f64>,
+    precision_steady_state: Option<f64>,
+    recall: Option<f64>,
+    waste_ratio: Option<f64>,
+    budget_utilization: f64,
+    budget_denied_budget: u64,
+    budget_denied_inflight: u64,
+    max_inflight_seen: usize,
+    cache_hits: u64,
+    cache_expirations: u64,
+    cache_lru_evictions: u64,
+    threshold_initial: f64,
+    threshold_final: f64,
+    controller_windows: u64,
+    precision_within_tolerance: bool,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct EngineSmoke {
+    requests: usize,
+    prefetch_intents: u64,
+    skips: u64,
+    forward_passes: u64,
+    mean_batch_size: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct SimReport {
+    benchmark: String,
+    config: SimConfig,
+    scenarios: Vec<ScenarioResult>,
+    engine_smoke: EngineSmoke,
+}
+
+/// Seeded noisy oracle: a logistic-noise score centered above the
+/// threshold band for accessed sessions and below it otherwise. The score
+/// is informative but imperfect, so precision genuinely depends on the
+/// threshold the controller picks.
+fn oracle_score(rng: &mut StdRng, accessed: bool) -> f64 {
+    let mu = if accessed { 0.9 } else { -0.9 };
+    // Logistic noise via inverse-CDF of a uniform draw.
+    let u: f64 = rng.gen_range(1e-9..1.0 - 1e-9);
+    let noise = (u / (1.0 - u)).ln();
+    1.0 / (1.0 + (-(mu + 0.9 * noise)).exp())
+}
+
+fn build_events(users: usize, days: u32, seed: u64) -> Vec<Event> {
+    let mut config = Scale::from_env().mobiletab();
+    config.num_users = users;
+    config.num_days = days;
+    config.seed = seed;
+    let dataset = MobileTabGenerator::new(config).generate();
+    let mut events: Vec<Event> = dataset
+        .users
+        .iter()
+        .flat_map(|user| {
+            user.sessions.iter().map(|s| Event {
+                timestamp: s.timestamp,
+                user: user.user_id,
+                accessed: s.accessed,
+            })
+        })
+        .collect();
+    events.sort_by_key(|e| (e.timestamp, e.user.0));
+    events
+}
+
+/// Quantize timestamps to 15-minute boundaries: synchronized bursts.
+fn burstify(events: &[Event]) -> Vec<Event> {
+    let mut out: Vec<Event> = events
+        .iter()
+        .map(|e| Event {
+            timestamp: (e.timestamp / 900) * 900,
+            ..*e
+        })
+        .collect();
+    out.sort_by_key(|e| (e.timestamp, e.user.0));
+    out
+}
+
+/// Thin off-peak hours (23:00–07:59 UTC) to ~30%: a day/night load swing.
+fn diurnalize(events: &[Event], seed: u64) -> Vec<Event> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xd1e5);
+    events
+        .iter()
+        .filter(|e| {
+            let hour = pp_data::schema::hour_of_day(e.timestamp);
+            (8..23).contains(&hour) || rng.gen::<f64>() < 0.3
+        })
+        .copied()
+        .collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_scenario(name: &str, events: &[Event], sim: &SimConfig, tolerance: f64) -> ScenarioResult {
+    let mut system = PrecomputeSystem::new(SystemConfig {
+        initial_threshold: sim.initial_threshold,
+        budget: BudgetConfig {
+            capacity_units: sim.burst_prefetches * sim.cost_per_prefetch_units,
+            refill_units_per_sec: sim.sustained_prefetches_per_sec * sim.cost_per_prefetch_units,
+            cost_per_prefetch_units: sim.cost_per_prefetch_units,
+            max_inflight: sim.max_inflight,
+        },
+        cache: CacheConfig {
+            shards: 8,
+            capacity_per_shard: 2_048,
+            ttl_secs: sim.cache_ttl_secs,
+        },
+        controller: ControllerConfig {
+            target_precision: sim.target_precision,
+            window: sim.controller_window,
+            gain: sim.controller_gain,
+            min_threshold: 0.01,
+            max_threshold: 0.99,
+        },
+        payload_bytes: 512,
+    });
+    let mut rng = StdRng::seed_from_u64(sim.seed ^ 0x5c0_7e5);
+    let threshold_initial = system.controller().threshold();
+
+    // Waves: consecutive events sharing a one-minute bucket, cut when a
+    // user repeats (one outstanding decision per user) or at max_wave.
+    let mut waves = 0usize;
+    let mut halfway: Option<OutcomeCounts> = None;
+    let mut i = 0usize;
+    while i < events.len() {
+        let bucket = events[i].timestamp / 60;
+        let mut wave: Vec<(Prediction, bool)> = Vec::new();
+        let mut users = std::collections::HashSet::new();
+        while i < events.len()
+            && events[i].timestamp / 60 == bucket
+            && wave.len() < sim.max_wave
+            && users.insert(events[i].user.0)
+        {
+            let e = events[i];
+            wave.push((
+                Prediction {
+                    user_id: e.user,
+                    probability: oracle_score(&mut rng, e.accessed),
+                },
+                e.accessed,
+            ));
+            i += 1;
+        }
+        let now = bucket * 60;
+        let predictions: Vec<Prediction> = wave.iter().map(|(p, _)| *p).collect();
+        system.handle_scores(&predictions, now);
+        // Sessions resolve shortly after their start; accessed sessions
+        // consume the payload quickly, the rest time out at window close.
+        for (prediction, accessed) in &wave {
+            let dwell = if *accessed { 10 } else { 45 };
+            system
+                .resolve_session(prediction.user_id, now + dwell, *accessed)
+                .expect("every wave entry has a pending decision");
+        }
+        waves += 1;
+        if halfway.is_none() && i >= events.len() / 2 {
+            halfway = Some(system.tracker().counts());
+        }
+    }
+
+    system
+        .check_invariants()
+        .unwrap_or_else(|violation| panic!("{name}: invariant violated: {violation}"));
+
+    let report = system.report();
+    // Steady-state precision: over the second half of the traffic, after
+    // the controller has had the first half to find the operating point.
+    let precision_steady_state = halfway.and_then(|h| {
+        let hits = report.outcomes.hits - h.hits;
+        let prefetches = report.outcomes.prefetches_resolved() - h.prefetches_resolved();
+        (prefetches > 0).then(|| hits as f64 / prefetches as f64)
+    });
+    let within = precision_steady_state
+        .map(|p| (p - sim.target_precision).abs() <= tolerance)
+        .unwrap_or(false);
+
+    let result = ScenarioResult {
+        scenario: name.to_string(),
+        events: events.len(),
+        waves,
+        scored: report.decisions.scored,
+        prefetches_executed: report.budget.admitted,
+        denied: report.denied,
+        outcomes: report.outcomes,
+        precision_overall: report.precision,
+        precision_steady_state,
+        recall: report.recall,
+        waste_ratio: report.waste_ratio,
+        budget_utilization: report.budget.utilization(),
+        budget_denied_budget: report.budget.denied_budget,
+        budget_denied_inflight: report.budget.denied_inflight,
+        max_inflight_seen: report.budget.max_inflight_seen,
+        cache_hits: report.cache.hits,
+        cache_expirations: report.cache.expirations,
+        cache_lru_evictions: report.cache.lru_evictions,
+        threshold_initial,
+        threshold_final: report.threshold,
+        controller_windows: report.controller_windows,
+        precision_within_tolerance: within,
+    };
+    println!(
+        "  {:<11} {:>6} events  precision {:.3} (steady {:.3}, target {:.2})  recall {:.3}  waste {:.3}  budget util {:.2}  threshold {:.3} -> {:.3}  windows {}",
+        result.scenario,
+        result.events,
+        result.precision_overall.unwrap_or(f64::NAN),
+        result.precision_steady_state.unwrap_or(f64::NAN),
+        sim.target_precision,
+        result.recall.unwrap_or(f64::NAN),
+        result.waste_ratio.unwrap_or(f64::NAN),
+        result.budget_utilization,
+        result.threshold_initial,
+        result.threshold_final,
+        result.controller_windows,
+    );
+    result
+}
+
+/// Push real batched RNN scores through the decision engine: the
+/// serving → precompute integration, end to end.
+fn engine_smoke(events: &[Event], seed: u64) -> EngineSmoke {
+    let model = Arc::new(RnnModel::new(
+        DatasetKind::MobileTab,
+        TaskKind::PerSession,
+        RnnModelConfig::tiny(),
+        seed,
+    ));
+    let store = Arc::new(ShardedStateStore::with_capacity(8, 100_000));
+    let engine = BatchServingEngine::start(model, store, 2, 64);
+    let requests: Vec<PredictRequest> = events
+        .iter()
+        .take(2_000)
+        .enumerate()
+        .map(|(i, e)| PredictRequest {
+            user_id: e.user,
+            timestamp: e.timestamp,
+            context: Context::MobileTab {
+                unread_count: (i % 7) as u8,
+                active_tab: Tab::ALL[i % Tab::ALL.len()],
+            },
+            elapsed_secs: 300,
+        })
+        .collect();
+    let mut decisions = DecisionEngine::new(pp_core::PrecomputePolicy::with_threshold(0.5));
+    let mut served = 0usize;
+    for chunk in requests.chunks(256) {
+        served += decisions.score_and_decide(&engine, chunk).len();
+    }
+    assert_eq!(served, requests.len());
+    let engine_stats = engine.stats();
+    let stats = decisions.stats();
+    EngineSmoke {
+        requests: served,
+        prefetch_intents: stats.prefetch_intents,
+        skips: stats.skips,
+        forward_passes: engine_stats.batches,
+        mean_batch_size: engine_stats.mean_batch_size(),
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let target_precision: f64 = env_or("PP_TARGET_PRECISION", 0.6);
+    let initial_threshold: f64 = env_or("PP_INITIAL_THRESHOLD", 0.5);
+    let window: usize = env_or("PP_WINDOW", 100);
+    let gain: f64 = env_or("PP_GAIN", 1.0);
+    let max_wave: usize = env_or("PP_MAX_WAVE", 256);
+    let out_path = std::env::var("PP_OUT").unwrap_or_else(|_| "BENCH_precompute.json".to_string());
+
+    section("precompute_sim: budget-aware precompute on seeded MobileTab traffic");
+    let events = build_events(scale.users, scale.days, scale.seed);
+    assert!(!events.is_empty(), "no traffic — increase PP_USERS/PP_DAYS");
+    let span_secs = (events.last().unwrap().timestamp - events[0].timestamp).max(1) as f64;
+    let events_per_sec = events.len() as f64 / span_secs;
+
+    // Prefetch cost in the §9 cost model's units, from the RNN serving
+    // profile (one 512-byte state lookup + the predict FLOPs).
+    let model = RnnModel::new(
+        DatasetKind::MobileTab,
+        TaskKind::PerSession,
+        RnnModelConfig::tiny(),
+        scale.seed,
+    );
+    let cost = prefetch_cost_units(&rnn_profile(&model), &CostWeights::default());
+
+    let sim = SimConfig {
+        users: scale.users,
+        days: scale.days,
+        seed: scale.seed,
+        target_precision,
+        initial_threshold,
+        controller_window: window,
+        controller_gain: gain,
+        max_wave,
+        burst_prefetches: env_or("PP_BURST_PREFETCHES", 128.0),
+        // Sustain roughly half the raw session rate as prefetches: ample in
+        // smooth traffic, binding during synchronized bursts.
+        sustained_prefetches_per_sec: env_or("PP_SUSTAINED_PREFETCHES", events_per_sec * 0.5),
+        max_inflight: env_or("PP_MAX_INFLIGHT", 192),
+        cost_per_prefetch_units: cost,
+        cache_ttl_secs: env_or("PP_CACHE_TTL", 900),
+    };
+    println!(
+        "traffic: {} events over {:.1} days ({:.2} events/s); prefetch cost {:.0} units; target precision {:.2}",
+        events.len(),
+        span_secs / 86_400.0,
+        events_per_sec,
+        cost,
+        target_precision
+    );
+
+    // Setting the variable opts into gating, so a malformed value must
+    // fail loudly rather than silently gate at the default tolerance.
+    let tolerance: f64 = match std::env::var("PP_REQUIRE_PRECISION") {
+        Ok(raw) => raw
+            .parse()
+            .expect("PP_REQUIRE_PRECISION must be a number (e.g. 0.05)"),
+        Err(_) => 0.05,
+    };
+
+    section("scenarios");
+    let scenarios = vec![
+        run_scenario("cold_start", &events, &sim, tolerance),
+        run_scenario("bursty", &burstify(&events), &sim, tolerance),
+        run_scenario("diurnal", &diurnalize(&events, scale.seed), &sim, tolerance),
+    ];
+
+    section("serving-engine integration smoke");
+    let smoke = engine_smoke(&events, scale.seed);
+    println!(
+        "  scored {} requests through BatchServingEngine: {} prefetch intents, {} skips, {} forward passes (mean batch {:.1})",
+        smoke.requests, smoke.prefetch_intents, smoke.skips, smoke.forward_passes, smoke.mean_batch_size
+    );
+
+    let report = SimReport {
+        benchmark: "precompute_sim".to_string(),
+        config: sim,
+        scenarios,
+        engine_smoke: smoke,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, &json).expect("write benchmark report");
+    println!("\nwrote {out_path}");
+
+    if std::env::var("PP_REQUIRE_PRECISION").is_ok() {
+        let failing: Vec<&ScenarioResult> = report
+            .scenarios
+            .iter()
+            .filter(|s| !s.precision_within_tolerance)
+            .collect();
+        if !failing.is_empty() {
+            for s in &failing {
+                eprintln!(
+                    "FAIL: {} steady-state precision {:?} outside target {} ± {}",
+                    s.scenario, s.precision_steady_state, target_precision, tolerance
+                );
+            }
+            std::process::exit(1);
+        }
+        println!(
+            "OK: all scenarios hold precision {target_precision} ± {tolerance} in steady state"
+        );
+    }
+}

@@ -32,6 +32,24 @@ impl PrecomputePolicy {
         }
     }
 
+    /// Creates a policy with an explicit threshold that *records* the
+    /// precision target it is meant to defend — the form an online
+    /// controller hands around while it nudges the threshold to hold the
+    /// target on live traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both arguments are probabilities in `[0, 1]`.
+    pub fn with_threshold_for_target(threshold: f64, target_precision: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&target_precision),
+            "target precision must be a probability"
+        );
+        let mut policy = Self::with_threshold(threshold);
+        policy.target_precision = Some(target_precision);
+        policy
+    }
+
     /// Calibrates a policy on held-out scores so that precision stays at or
     /// above `target_precision` while recall is maximized. Returns `None`
     /// when no threshold achieves the target (the caller should then either
@@ -53,6 +71,37 @@ impl PrecomputePolicy {
     /// The probability threshold.
     pub fn threshold(&self) -> f64 {
         self.threshold
+    }
+
+    /// Returns a copy of this policy with its threshold moved to
+    /// `threshold`, *keeping* the recorded precision target. This is the
+    /// hook an online controller uses to nudge the operating point while
+    /// the target it is defending stays on record.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= threshold <= 1`.
+    pub fn with_adjusted_threshold(&self, threshold: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&threshold),
+            "threshold must be a probability"
+        );
+        Self {
+            threshold,
+            target_precision: self.target_precision,
+        }
+    }
+
+    /// Re-fits the threshold for this policy's recorded precision target on
+    /// a fresh held-out sample — the periodic recalibration step of a
+    /// production deployment as traffic drifts. Returns `None` when the
+    /// target has become unachievable on the new sample; a policy without a
+    /// recorded target is returned unchanged.
+    pub fn recalibrate(&self, scores: &[f64], labels: &[bool]) -> Option<Self> {
+        match self.target_precision {
+            Some(target) => Self::for_target_precision(scores, labels, target),
+            None => Some(*self),
+        }
     }
 
     /// The precision target this policy was calibrated for, if any.
@@ -130,5 +179,141 @@ mod tests {
     #[should_panic(expected = "threshold must be a probability")]
     fn invalid_threshold_panics() {
         let _ = PrecomputePolicy::with_threshold(1.5);
+    }
+
+    #[test]
+    fn with_threshold_for_target_records_both() {
+        let p = PrecomputePolicy::with_threshold_for_target(0.5, 0.6);
+        assert!((p.threshold() - 0.5).abs() < 1e-12);
+        assert_eq!(p.target_precision(), Some(0.6));
+    }
+
+    #[test]
+    #[should_panic(expected = "target precision must be a probability")]
+    fn invalid_target_panics() {
+        let _ = PrecomputePolicy::with_threshold_for_target(0.5, 1.2);
+    }
+
+    #[test]
+    fn adjusted_threshold_keeps_target_on_record() {
+        let scores = [0.9, 0.8, 0.7, 0.1];
+        let labels = [true, false, true, false];
+        let policy = PrecomputePolicy::for_target_precision(&scores, &labels, 0.6).unwrap();
+        let nudged = policy.with_adjusted_threshold(0.42);
+        assert!((nudged.threshold() - 0.42).abs() < 1e-12);
+        assert_eq!(nudged.target_precision(), Some(0.6));
+    }
+
+    #[test]
+    fn recalibrate_refits_threshold_on_fresh_scores() {
+        let policy =
+            PrecomputePolicy::for_target_precision(&[0.9, 0.2], &[true, false], 0.9).unwrap();
+        // On a fresh sample where positives score lower, the threshold moves.
+        let fresh_scores = [0.6, 0.5, 0.4, 0.3];
+        let fresh_labels = [true, true, false, false];
+        let refit = policy.recalibrate(&fresh_scores, &fresh_labels).unwrap();
+        assert_eq!(refit.target_precision(), Some(0.9));
+        assert!((refit.threshold() - 0.5).abs() < 1e-12);
+        // An unachievable target on the new sample reports failure.
+        assert!(policy.recalibrate(&[0.9], &[false]).is_none());
+        // A target-less policy passes through unchanged.
+        let fixed = PrecomputePolicy::with_threshold(0.3);
+        assert_eq!(fixed.recalibrate(&[0.1], &[false]).unwrap(), fixed);
+    }
+}
+
+#[cfg(test)]
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Precision achieved on `(scores, labels)` when precomputing at
+    /// `score >= threshold`; `None` when nothing triggers.
+    fn achieved_precision(scores: &[f64], labels: &[bool], threshold: f64) -> Option<f64> {
+        let (mut tp, mut fp) = (0u64, 0u64);
+        for (&s, &l) in scores.iter().zip(labels) {
+            if s >= threshold {
+                if l {
+                    tp += 1;
+                } else {
+                    fp += 1;
+                }
+            }
+        }
+        (tp + fp > 0).then(|| tp as f64 / (tp + fp) as f64)
+    }
+
+    proptest! {
+        #[test]
+        fn calibrated_threshold_achieves_the_target(
+            scores in prop::collection::vec(0.0f64..1.0, 1..150),
+            labels in prop::collection::vec(any::<bool>(), 1..150),
+            target in 0.05f64..0.95,
+        ) {
+            let n = scores.len().min(labels.len());
+            let scores = &scores[..n];
+            let labels = &labels[..n];
+            if let Some(policy) =
+                PrecomputePolicy::for_target_precision(scores, labels, target)
+            {
+                let precision = achieved_precision(scores, labels, policy.threshold())
+                    .expect("calibrated threshold triggers at least once");
+                prop_assert!(
+                    precision >= target,
+                    "target {target} but achieved {precision} at threshold {}",
+                    policy.threshold()
+                );
+                prop_assert_eq!(policy.target_precision(), Some(target));
+            }
+        }
+
+        #[test]
+        fn threshold_is_monotone_in_the_target(
+            scores in prop::collection::vec(0.0f64..1.0, 1..150),
+            labels in prop::collection::vec(any::<bool>(), 1..150),
+            t1 in 0.05f64..0.95,
+            t2 in 0.05f64..0.95,
+        ) {
+            let n = scores.len().min(labels.len());
+            let scores = &scores[..n];
+            let labels = &labels[..n];
+            let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+            let easy = PrecomputePolicy::for_target_precision(scores, labels, lo);
+            let hard = PrecomputePolicy::for_target_precision(scores, labels, hi);
+            // A harder target can become infeasible, but never *easier*:
+            if easy.is_none() {
+                prop_assert!(hard.is_none());
+            }
+            if let (Some(easy), Some(hard)) = (easy, hard) {
+                prop_assert!(
+                    easy.threshold() <= hard.threshold(),
+                    "target {lo} -> threshold {}, target {hi} -> threshold {}",
+                    easy.threshold(),
+                    hard.threshold()
+                );
+            }
+        }
+
+        #[test]
+        fn recalibration_achieves_the_recorded_target_on_fresh_data(
+            old_scores in prop::collection::vec(0.0f64..1.0, 1..80),
+            old_labels in prop::collection::vec(any::<bool>(), 1..80),
+            new_scores in prop::collection::vec(0.0f64..1.0, 1..80),
+            new_labels in prop::collection::vec(any::<bool>(), 1..80),
+            target in 0.05f64..0.95,
+        ) {
+            let n_old = old_scores.len().min(old_labels.len());
+            let n_new = new_scores.len().min(new_labels.len());
+            let old = (&old_scores[..n_old], &old_labels[..n_old]);
+            let new = (&new_scores[..n_new], &new_labels[..n_new]);
+            if let Some(policy) = PrecomputePolicy::for_target_precision(old.0, old.1, target) {
+                if let Some(refit) = policy.recalibrate(new.0, new.1) {
+                    let precision = achieved_precision(new.0, new.1, refit.threshold())
+                        .expect("recalibrated threshold triggers at least once");
+                    prop_assert!(precision >= target);
+                    prop_assert_eq!(refit.target_precision(), Some(target));
+                }
+            }
+        }
     }
 }

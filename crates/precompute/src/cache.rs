@@ -1,0 +1,352 @@
+//! Sharded storage for precomputed payloads.
+//!
+//! A prefetch materializes the activity's data *before* the user asks for
+//! it; the [`PrefetchCache`] is where that payload waits. Entries carry a
+//! TTL (precomputed data goes stale) and each shard is LRU-bounded (the
+//! cache competes for the same memory as everything else on the device or
+//! edge tier). Keys are user ids — one outstanding payload per user,
+//! matching the one-decision-per-session-start flow.
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use pp_data::schema::UserId;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+/// Cache sizing and freshness configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Number of independent shards.
+    pub shards: usize,
+    /// Maximum payloads per shard (LRU beyond that).
+    pub capacity_per_shard: usize,
+    /// Seconds a payload stays servable after insertion.
+    pub ttl_secs: i64,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self {
+            shards: 8,
+            capacity_per_shard: 4_096,
+            ttl_secs: 1_800,
+        }
+    }
+}
+
+/// Running counters of the cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Payloads inserted.
+    pub insertions: u64,
+    /// Insertions that replaced a payload already held for the user.
+    pub replacements: u64,
+    /// Takes that returned a fresh payload.
+    pub hits: u64,
+    /// Takes that found nothing for the user.
+    pub misses: u64,
+    /// Takes that found only an expired payload (dropped, not served).
+    pub expirations: u64,
+    /// Payloads evicted by the per-shard LRU bound.
+    pub lru_evictions: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    payload: Bytes,
+    expires_at: i64,
+    tick: u64,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<u64, Entry>,
+    /// tick → user id, oldest-touched first.
+    lru: BTreeMap<u64, u64>,
+    next_tick: u64,
+}
+
+impl Shard {
+    fn insert(
+        &mut self,
+        user: u64,
+        payload: Bytes,
+        expires_at: i64,
+        capacity: usize,
+    ) -> (bool, u64) {
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        let replaced = match self.map.insert(
+            user,
+            Entry {
+                payload,
+                expires_at,
+                tick,
+            },
+        ) {
+            Some(old) => {
+                self.lru.remove(&old.tick);
+                true
+            }
+            None => false,
+        };
+        self.lru.insert(tick, user);
+        let mut evicted = 0u64;
+        while self.map.len() > capacity {
+            let (&oldest, _) = self.lru.iter().next().expect("lru tracks map");
+            let victim = self.lru.remove(&oldest).expect("tick present");
+            self.map.remove(&victim);
+            evicted += 1;
+        }
+        (replaced, evicted)
+    }
+
+    fn take(&mut self, user: u64) -> Option<Entry> {
+        let entry = self.map.remove(&user)?;
+        self.lru.remove(&entry.tick);
+        Some(entry)
+    }
+}
+
+/// A sharded, TTL + LRU bounded store of precomputed payloads.
+#[derive(Debug)]
+pub struct PrefetchCache {
+    shards: Vec<Mutex<Shard>>,
+    config: CacheConfig,
+    stats: Mutex<CacheStats>,
+}
+
+impl PrefetchCache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `shards`, `capacity_per_shard` and `ttl_secs` are all
+    /// positive.
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.shards > 0, "need at least one shard");
+        assert!(
+            config.capacity_per_shard > 0,
+            "capacity_per_shard must be positive"
+        );
+        assert!(config.ttl_secs > 0, "ttl_secs must be positive");
+        Self {
+            shards: (0..config.shards)
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
+            config,
+            stats: Mutex::new(CacheStats::default()),
+        }
+    }
+
+    /// The cache configuration.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// The shard a user's payload lives in (same SplitMix64 spread as
+    /// [`pp_serving::ShardedStateStore`]).
+    pub fn shard_index(&self, user: UserId) -> usize {
+        let mut z = user.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        (z % self.shards.len() as u64) as usize
+    }
+
+    /// Stores the payload prefetched for `user` at time `now`, replacing
+    /// any previous payload for the same user; evicts the shard's
+    /// least-recently-touched payload when the shard is full.
+    pub fn insert(&self, user: UserId, payload: Bytes, now: i64) {
+        let shard = &self.shards[self.shard_index(user)];
+        let (replaced, evicted) = shard.lock().insert(
+            user.0,
+            payload,
+            now + self.config.ttl_secs,
+            self.config.capacity_per_shard,
+        );
+        let mut stats = self.stats.lock();
+        stats.insertions += 1;
+        if replaced {
+            stats.replacements += 1;
+        }
+        stats.lru_evictions += evicted;
+    }
+
+    /// Consumes the payload held for `user`, if it is still fresh at `now`.
+    /// An expired payload is dropped and reported as `None` — serving stale
+    /// precomputed data would be worse than recomputing.
+    pub fn take(&self, user: UserId, now: i64) -> Option<Bytes> {
+        let shard = &self.shards[self.shard_index(user)];
+        let entry = shard.lock().take(user.0);
+        let mut stats = self.stats.lock();
+        match entry {
+            Some(entry) if entry.expires_at > now => {
+                stats.hits += 1;
+                Some(entry.payload)
+            }
+            Some(_) => {
+                stats.expirations += 1;
+                None
+            }
+            None => {
+                stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Drops every payload already expired at `now`, returning how many
+    /// were dropped (counted as expirations).
+    pub fn purge_expired(&self, now: i64) -> usize {
+        let mut dropped = 0usize;
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            let stale: Vec<u64> = shard
+                .map
+                .iter()
+                .filter(|(_, e)| e.expires_at <= now)
+                .map(|(&u, _)| u)
+                .collect();
+            for user in stale {
+                shard.take(user);
+                dropped += 1;
+            }
+        }
+        self.stats.lock().expirations += dropped as u64;
+        dropped
+    }
+
+    /// Number of payloads currently held (fresh or not yet purged).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// Returns `true` when no payload is held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total payload bytes currently held.
+    pub fn stored_bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .map
+                    .values()
+                    .map(|e| e.payload.len() as u64)
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+
+    /// Snapshot of the running counters.
+    pub fn stats(&self) -> CacheStats {
+        *self.stats.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(capacity: usize, ttl: i64) -> PrefetchCache {
+        PrefetchCache::new(CacheConfig {
+            shards: 1,
+            capacity_per_shard: capacity,
+            ttl_secs: ttl,
+        })
+    }
+
+    #[test]
+    fn take_serves_fresh_and_drops_expired() {
+        let c = cache(16, 100);
+        c.insert(UserId(1), Bytes::from_static(b"payload"), 1_000);
+        // Fresh within TTL.
+        assert_eq!(
+            c.take(UserId(1), 1_099).unwrap(),
+            Bytes::from_static(b"payload")
+        );
+        // A take consumes: second take misses.
+        assert!(c.take(UserId(1), 1_099).is_none());
+        // Expired at exactly insert + ttl.
+        c.insert(UserId(2), Bytes::from_static(b"old"), 1_000);
+        assert!(c.take(UserId(2), 1_100).is_none());
+        let stats = c.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.expirations, 1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn insert_replaces_per_user() {
+        let c = cache(16, 100);
+        c.insert(UserId(5), Bytes::from_static(b"v1"), 0);
+        c.insert(UserId(5), Bytes::from_static(b"v2"), 10);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.take(UserId(5), 50).unwrap(), Bytes::from_static(b"v2"));
+        let stats = c.stats();
+        assert_eq!(stats.insertions, 2);
+        assert_eq!(stats.replacements, 1);
+    }
+
+    #[test]
+    fn lru_bound_evicts_oldest_payload() {
+        let c = cache(3, 1_000);
+        for id in 0..3u64 {
+            c.insert(UserId(id), Bytes::from(vec![id as u8]), 0);
+        }
+        c.insert(UserId(9), Bytes::from_static(b"new"), 1);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.stats().lru_evictions, 1);
+        // User 0 was the least recently touched.
+        assert!(c.take(UserId(0), 2).is_none());
+        assert!(c.take(UserId(9), 2).is_some());
+    }
+
+    #[test]
+    fn purge_expired_sweeps_only_stale_entries() {
+        let c = PrefetchCache::new(CacheConfig {
+            shards: 4,
+            capacity_per_shard: 8,
+            ttl_secs: 50,
+        });
+        for id in 0..10u64 {
+            c.insert(UserId(id), Bytes::from(vec![0u8; 4]), id as i64 * 10);
+        }
+        // At t=95, entries inserted at t<=40 (expiry <= 90 < 95) are stale:
+        // ids 0..=4 expire at 50..=90.
+        let dropped = c.purge_expired(95);
+        assert_eq!(dropped, 5);
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.stored_bytes(), 20);
+        assert!(c.take(UserId(9), 95).is_some());
+    }
+
+    #[test]
+    fn users_spread_across_shards() {
+        let c = PrefetchCache::new(CacheConfig {
+            shards: 8,
+            capacity_per_shard: 1_000,
+            ttl_secs: 10,
+        });
+        let mut counts = [0usize; 8];
+        for id in 0..800u64 {
+            counts[c.shard_index(UserId(id))] += 1;
+        }
+        for (shard, &count) in counts.iter().enumerate() {
+            assert!(
+                (40..=200).contains(&count),
+                "shard {shard} holds {count} of 800 users"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ttl_secs must be positive")]
+    fn zero_ttl_panics() {
+        let _ = cache(4, 0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Turning batched scores into precompute decisions.
+//!
+//! The [`DecisionEngine`] is deliberately small: policy application plus
+//! bookkeeping. Admission control (budget) lives in
+//! [`crate::scheduler::PrefetchScheduler`]; the engine records *intent*
+//! (prefetch / skip) and the system downgrades a prefetch to
+//! [`Action::Denied`] when the budget refuses it.
+
+use pp_core::PrecomputePolicy;
+use pp_data::schema::UserId;
+use pp_serving::{BatchServingEngine, PredictRequest, Prediction};
+use serde::{Deserialize, Serialize};
+
+/// What the subsystem did (or declined to do) for one scored session start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Action {
+    /// The policy fired and the prefetch was admitted and executed.
+    Prefetch,
+    /// The predicted probability fell below the threshold.
+    Skip,
+    /// The policy fired but the budget scheduler refused admission.
+    Denied,
+}
+
+/// One precompute decision for one session start.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Decision {
+    /// The user the session belongs to.
+    pub user_id: UserId,
+    /// Session-start timestamp (UNIX seconds) the decision was taken at.
+    pub timestamp: i64,
+    /// The predicted access probability the decision was based on.
+    pub probability: f64,
+    /// The threshold in force when the decision was taken.
+    pub threshold: f64,
+    /// What was done.
+    pub action: Action,
+}
+
+/// Counters describing decision-engine behavior.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecisionStats {
+    /// Predictions scored against the policy.
+    pub scored: u64,
+    /// Decisions whose policy verdict was "prefetch".
+    pub prefetch_intents: u64,
+    /// Decisions whose policy verdict was "skip".
+    pub skips: u64,
+}
+
+/// Applies a [`PrecomputePolicy`] to batched predictions.
+#[derive(Debug, Clone)]
+pub struct DecisionEngine {
+    policy: PrecomputePolicy,
+    stats: DecisionStats,
+}
+
+impl DecisionEngine {
+    /// Creates an engine applying `policy`.
+    pub fn new(policy: PrecomputePolicy) -> Self {
+        Self {
+            policy,
+            stats: DecisionStats::default(),
+        }
+    }
+
+    /// The policy currently in force.
+    pub fn policy(&self) -> PrecomputePolicy {
+        self.policy
+    }
+
+    /// Replaces the policy in force (the adaptive controller's entry point;
+    /// decisions already taken keep the threshold they were taken at).
+    pub fn set_policy(&mut self, policy: PrecomputePolicy) {
+        self.policy = policy;
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> DecisionStats {
+        self.stats
+    }
+
+    /// Decides for a single prediction made at `timestamp`.
+    pub fn decide(&mut self, prediction: &Prediction, timestamp: i64) -> Decision {
+        self.stats.scored += 1;
+        let prefetch = self.policy.should_precompute(prediction.probability);
+        if prefetch {
+            self.stats.prefetch_intents += 1;
+        } else {
+            self.stats.skips += 1;
+        }
+        Decision {
+            user_id: prediction.user_id,
+            timestamp,
+            probability: prediction.probability,
+            threshold: self.policy.threshold(),
+            action: if prefetch {
+                Action::Prefetch
+            } else {
+                Action::Skip
+            },
+        }
+    }
+
+    /// Decides for one wave of batched predictions, all made at `timestamp`.
+    pub fn decide_batch(&mut self, predictions: &[Prediction], timestamp: i64) -> Vec<Decision> {
+        predictions
+            .iter()
+            .map(|p| self.decide(p, timestamp))
+            .collect()
+    }
+
+    /// Scores `requests` through a running [`BatchServingEngine`] (one
+    /// batched forward pass per engine batch) and decides on each result —
+    /// the production wiring of serving into precompute. Decisions carry
+    /// their request's session-start timestamp.
+    pub fn score_and_decide(
+        &mut self,
+        engine: &BatchServingEngine,
+        requests: &[PredictRequest],
+    ) -> Vec<Decision> {
+        let predictions = engine.predict_many_blocking(requests);
+        requests
+            .iter()
+            .zip(&predictions)
+            .map(|(request, prediction)| self.decide(prediction, request.timestamp))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_data::schema::{Context, DatasetKind, Tab};
+    use pp_rnn::{RnnModel, RnnModelConfig, TaskKind};
+    use pp_serving::ShardedStateStore;
+    use std::sync::Arc;
+
+    fn prediction(id: u64, p: f64) -> Prediction {
+        Prediction {
+            user_id: UserId(id),
+            probability: p,
+        }
+    }
+
+    #[test]
+    fn policy_splits_prefetch_from_skip() {
+        let mut engine = DecisionEngine::new(PrecomputePolicy::with_threshold(0.6));
+        let decisions = engine.decide_batch(
+            &[prediction(1, 0.9), prediction(2, 0.59), prediction(3, 0.6)],
+            1_000,
+        );
+        assert_eq!(decisions[0].action, Action::Prefetch);
+        assert_eq!(decisions[1].action, Action::Skip);
+        assert_eq!(decisions[2].action, Action::Prefetch);
+        for d in &decisions {
+            assert_eq!(d.timestamp, 1_000);
+            assert!((d.threshold - 0.6).abs() < 1e-12);
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.scored, 3);
+        assert_eq!(stats.prefetch_intents, 2);
+        assert_eq!(stats.skips, 1);
+    }
+
+    #[test]
+    fn set_policy_changes_future_decisions_only() {
+        let mut engine = DecisionEngine::new(PrecomputePolicy::with_threshold(0.5));
+        let before = engine.decide(&prediction(1, 0.55), 0);
+        engine.set_policy(PrecomputePolicy::with_threshold(0.7));
+        let after = engine.decide(&prediction(1, 0.55), 1);
+        assert_eq!(before.action, Action::Prefetch);
+        assert_eq!(after.action, Action::Skip);
+        assert!((before.threshold - 0.5).abs() < 1e-12);
+        assert!((after.threshold - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn score_and_decide_consumes_the_batch_serving_engine() {
+        let model = Arc::new(RnnModel::new(
+            DatasetKind::MobileTab,
+            TaskKind::PerSession,
+            RnnModelConfig::tiny(),
+            3,
+        ));
+        let store = Arc::new(ShardedStateStore::new(4));
+        let serving = BatchServingEngine::start(model.clone(), store.clone(), 2, 16);
+        let requests: Vec<PredictRequest> = (0..24)
+            .map(|i| PredictRequest {
+                user_id: UserId(i as u64 % 7),
+                timestamp: 10_000 + i * 13,
+                context: Context::MobileTab {
+                    unread_count: (i % 5) as u8,
+                    active_tab: Tab::ALL[i as usize % Tab::ALL.len()],
+                },
+                elapsed_secs: 120 + i,
+            })
+            .collect();
+
+        let mut engine = DecisionEngine::new(PrecomputePolicy::with_threshold(0.0));
+        let decisions = engine.score_and_decide(&serving, &requests);
+        assert_eq!(decisions.len(), requests.len());
+        for (request, decision) in requests.iter().zip(&decisions) {
+            assert_eq!(decision.user_id, request.user_id);
+            assert_eq!(decision.timestamp, request.timestamp);
+            // Threshold 0: every scored request is a prefetch intent, and
+            // the probability matches the single-request path.
+            assert_eq!(decision.action, Action::Prefetch);
+            let state = store
+                .get_state(request.user_id)
+                .unwrap_or_else(|| model.initial_state());
+            let input = model.featurizer().predict_input(
+                request.timestamp,
+                &request.context,
+                request.elapsed_secs,
+            );
+            let single = model.predict_proba(&state, &input);
+            assert!((decision.probability - single).abs() < 1e-6);
+        }
+        assert_eq!(engine.stats().scored, 24);
+    }
+}

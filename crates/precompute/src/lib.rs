@@ -1,0 +1,50 @@
+//! # pp-precompute
+//!
+//! The budget-aware precompute *execution* subsystem: everything between a
+//! predicted access probability and a measured, accounted-for prefetch.
+//!
+//! The paper's end goal is not prediction but precompute (§8–§9): turn
+//! access probabilities into prefetch decisions that maximize successful
+//! prefetches under a resource budget, at a precision target (60% for the
+//! MobileTab launch). `pp-serving` produces batched scores; this crate
+//! closes the predict → act → measure loop around them:
+//!
+//! * [`decision`] — the [`DecisionEngine`]: applies a
+//!   [`pp_core::PrecomputePolicy`] to batched [`pp_serving::Prediction`]s
+//!   (straight from a [`pp_serving::BatchServingEngine`] via
+//!   `predict_many_blocking`) and emits per-request [`Decision`]s;
+//! * [`scheduler`] — the [`PrefetchScheduler`]: token-bucket admission with
+//!   a max-inflight cap, costing each prefetch in the abstract cost units
+//!   of `pp-serving::cost` ([`prefetch_cost_units`]), so "budget" means the
+//!   same thing as the §9 serving-cost model;
+//! * [`cache`] — the sharded [`PrefetchCache`]: TTL + LRU bounded storage
+//!   for precomputed payloads keyed by user;
+//! * [`outcome`] — the [`OutcomeTracker`]: resolves every decision against
+//!   what the session actually did (hit / wasted prefetch / expired
+//!   prefetch / missed access / correct skip) with exact conservation, and
+//!   emits live precision / recall / waste;
+//! * [`adaptive`] — the [`AdaptiveThresholdController`]: nudges the
+//!   decision threshold online, window by window, to hold the target
+//!   precision as traffic drifts;
+//! * [`system`] — the [`PrecomputeSystem`] wiring all five together behind
+//!   two calls: `handle_scores` at session start, `resolve_session` when
+//!   the ground truth lands.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod adaptive;
+pub mod cache;
+pub mod decision;
+pub mod outcome;
+pub mod scheduler;
+pub mod system;
+
+pub use adaptive::{AdaptiveThresholdController, ControllerConfig, WindowSnapshot};
+pub use cache::{CacheConfig, CacheStats, PrefetchCache};
+pub use decision::{Action, Decision, DecisionEngine, DecisionStats};
+pub use outcome::{Outcome, OutcomeCounts, OutcomeTracker};
+pub use scheduler::{
+    prefetch_cost_units, AdmitResult, BudgetConfig, PrefetchScheduler, SchedulerBudgetStats,
+};
+pub use system::{PrecomputeSystem, SystemConfig, SystemReport};

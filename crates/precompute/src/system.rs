@@ -1,0 +1,408 @@
+//! The assembled subsystem: predict → decide → admit → prefetch → resolve
+//! → adapt.
+//!
+//! [`PrecomputeSystem`] is driven by two calls per session:
+//!
+//! 1. [`PrecomputeSystem::handle_scores`] at session start, with the wave
+//!    of batched predictions the serving engine just produced — applies the
+//!    policy, asks the budget scheduler for admission, executes admitted
+//!    prefetches into the cache, and registers every decision as pending;
+//! 2. [`PrecomputeSystem::resolve_session`] when the session's ground
+//!    truth is known — consumes the cached payload (fresh or not), resolves
+//!    the decision into its outcome bucket, releases the inflight slot, and
+//!    feeds the adaptive controller, which may move the threshold for
+//!    subsequent decisions.
+//!
+//! The two invariants the acceptance criteria name are checkable at any
+//! point via [`PrecomputeSystem::check_invariants`]: outcome conservation
+//! and a never-overdrawn budget.
+
+use crate::adaptive::{AdaptiveThresholdController, ControllerConfig};
+use crate::cache::{CacheConfig, CacheStats, PrefetchCache};
+use crate::decision::{Action, Decision, DecisionEngine, DecisionStats};
+use crate::outcome::{Outcome, OutcomeCounts, OutcomeTracker};
+use crate::scheduler::{AdmitResult, BudgetConfig, PrefetchScheduler, SchedulerBudgetStats};
+use bytes::Bytes;
+use pp_data::schema::UserId;
+use pp_serving::Prediction;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the assembled subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Threshold the decision engine starts from (the offline-calibrated
+    /// operating point).
+    pub initial_threshold: f64,
+    /// Budget scheduler configuration.
+    pub budget: BudgetConfig,
+    /// Prefetch cache configuration.
+    pub cache: CacheConfig,
+    /// Adaptive threshold controller configuration.
+    pub controller: ControllerConfig,
+    /// Size of the payload materialized per prefetch.
+    pub payload_bytes: usize,
+}
+
+/// A point-in-time report of everything the subsystem measures.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemReport {
+    /// Decision-engine counters.
+    pub decisions: DecisionStats,
+    /// Prefetches denied admission (budget or inflight).
+    pub denied: u64,
+    /// Outcome bucket totals.
+    pub outcomes: OutcomeCounts,
+    /// Live precision over executed prefetches, if any resolved.
+    pub precision: Option<f64>,
+    /// Live recall over observed accesses, if any resolved.
+    pub recall: Option<f64>,
+    /// Live waste ratio over executed prefetches, if any resolved.
+    pub waste_ratio: Option<f64>,
+    /// Budget scheduler counters.
+    pub budget: SchedulerBudgetStats,
+    /// Prefetch cache counters.
+    pub cache: CacheStats,
+    /// Threshold currently in force.
+    pub threshold: f64,
+    /// Adjustment windows the controller has closed.
+    pub controller_windows: u64,
+}
+
+/// The full budget-aware precompute execution subsystem.
+#[derive(Debug)]
+pub struct PrecomputeSystem {
+    engine: DecisionEngine,
+    scheduler: PrefetchScheduler,
+    cache: PrefetchCache,
+    tracker: OutcomeTracker,
+    controller: AdaptiveThresholdController,
+    payload_bytes: usize,
+}
+
+impl PrecomputeSystem {
+    /// Builds the subsystem from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any component configuration is invalid (see the
+    /// component constructors).
+    pub fn new(config: SystemConfig) -> Self {
+        let controller =
+            AdaptiveThresholdController::new(config.initial_threshold, config.controller);
+        Self {
+            engine: DecisionEngine::new(controller.policy()),
+            scheduler: PrefetchScheduler::new(config.budget),
+            cache: PrefetchCache::new(config.cache),
+            tracker: OutcomeTracker::new(),
+            controller,
+            payload_bytes: config.payload_bytes,
+        }
+    }
+
+    /// Handles one wave of batched predictions at traffic time `now`:
+    /// decides per prediction, admits prefetches against the budget,
+    /// executes admitted prefetches into the cache, and registers every
+    /// decision for outcome resolution. Returns the decisions in input
+    /// order.
+    ///
+    /// A user whose previous session never resolved is resolved first as
+    /// "ended without access" so decisions cannot leak.
+    pub fn handle_scores(&mut self, predictions: &[Prediction], now: i64) -> Vec<Decision> {
+        predictions
+            .iter()
+            .map(|prediction| {
+                if self.tracker.pending_decision(prediction.user_id).is_some() {
+                    let _ = self.resolve_session(prediction.user_id, now, false);
+                }
+                let mut decision = self.engine.decide(prediction, now);
+                if decision.action == Action::Prefetch {
+                    match self.scheduler.try_admit(now) {
+                        AdmitResult::Admitted => {
+                            self.cache.insert(
+                                decision.user_id,
+                                Bytes::from(vec![0u8; self.payload_bytes]),
+                                now,
+                            );
+                        }
+                        AdmitResult::DeniedBudget | AdmitResult::DeniedInflight => {
+                            decision.action = Action::Denied;
+                        }
+                    }
+                }
+                self.tracker.record(decision);
+                decision
+            })
+            .collect()
+    }
+
+    /// Resolves the pending decision for `user` against the session's
+    /// ground truth at time `now`. Consumes the cached payload (a prefetch
+    /// that resolves — used or not — frees its cache slot and its inflight
+    /// budget slot), classifies the outcome, and feeds the adaptive
+    /// controller. Returns `None` when the user has no pending decision.
+    pub fn resolve_session(&mut self, user: UserId, now: i64, accessed: bool) -> Option<Outcome> {
+        let decision = self.tracker.pending_decision(user)?;
+        let payload_served = if decision.action == Action::Prefetch {
+            let payload = self.cache.take(user, now);
+            self.scheduler.complete_one();
+            payload.is_some()
+        } else {
+            false
+        };
+        let outcome = self
+            .tracker
+            .resolve(user, accessed, payload_served)
+            .expect("pending decision just observed");
+        if self.controller.observe(outcome).is_some() {
+            self.engine.set_policy(self.controller.policy());
+        }
+        Some(outcome)
+    }
+
+    /// The decision engine (e.g. for
+    /// [`DecisionEngine::score_and_decide`]-style wiring or inspection).
+    pub fn decision_engine(&self) -> &DecisionEngine {
+        &self.engine
+    }
+
+    /// The budget scheduler.
+    pub fn scheduler(&self) -> &PrefetchScheduler {
+        &self.scheduler
+    }
+
+    /// The prefetch cache.
+    pub fn cache(&self) -> &PrefetchCache {
+        &self.cache
+    }
+
+    /// The outcome tracker.
+    pub fn tracker(&self) -> &OutcomeTracker {
+        &self.tracker
+    }
+
+    /// The adaptive controller.
+    pub fn controller(&self) -> &AdaptiveThresholdController {
+        &self.controller
+    }
+
+    /// Snapshot of every live metric.
+    pub fn report(&self) -> SystemReport {
+        let counts = self.tracker.counts();
+        let budget = self.scheduler.stats();
+        SystemReport {
+            decisions: self.engine.stats(),
+            denied: budget.denied_budget + budget.denied_inflight,
+            outcomes: counts,
+            precision: counts.precision(),
+            recall: counts.recall(),
+            waste_ratio: counts.waste_ratio(),
+            budget,
+            cache: self.cache.stats(),
+            threshold: self.controller.threshold(),
+            controller_windows: self.controller.windows_closed(),
+        }
+    }
+
+    /// Checks the subsystem invariants: outcome conservation, budget never
+    /// overdrawn, and cross-component books (admitted = executed prefetch
+    /// decisions = cache insertions).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.tracker.check_conservation()?;
+        self.scheduler.check_invariants()?;
+        let admitted = self.scheduler.stats().admitted;
+        let inserted = self.cache.stats().insertions;
+        if admitted != inserted {
+            return Err(format!(
+                "admitted {admitted} prefetches but inserted {inserted} payloads"
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn config() -> SystemConfig {
+        SystemConfig {
+            initial_threshold: 0.5,
+            budget: BudgetConfig {
+                capacity_units: 400.0,
+                refill_units_per_sec: 50.0,
+                cost_per_prefetch_units: 10.0,
+                max_inflight: 64,
+            },
+            cache: CacheConfig {
+                shards: 4,
+                capacity_per_shard: 256,
+                ttl_secs: 600,
+            },
+            controller: ControllerConfig {
+                target_precision: 0.7,
+                window: 100,
+                gain: 0.4,
+                min_threshold: 0.01,
+                max_threshold: 0.99,
+            },
+            payload_bytes: 64,
+        }
+    }
+
+    fn prediction(id: u64, p: f64) -> Prediction {
+        Prediction {
+            user_id: UserId(id),
+            probability: p,
+        }
+    }
+
+    #[test]
+    fn end_to_end_wave_resolves_with_conservation() {
+        let mut system = PrecomputeSystem::new(config());
+        let wave: Vec<Prediction> = (0..10)
+            .map(|i| prediction(i, if i % 2 == 0 { 0.9 } else { 0.1 }))
+            .collect();
+        let decisions = system.handle_scores(&wave, 1_000);
+        assert_eq!(decisions.len(), 10);
+        assert_eq!(
+            decisions
+                .iter()
+                .filter(|d| d.action == Action::Prefetch)
+                .count(),
+            5
+        );
+        system.check_invariants().unwrap();
+        // Resolve: even users (prefetched) accessed, odd did not.
+        for i in 0..10u64 {
+            let outcome = system
+                .resolve_session(UserId(i), 1_010, i % 2 == 0)
+                .unwrap();
+            match i % 2 {
+                0 => assert_eq!(outcome, Outcome::Hit),
+                _ => assert_eq!(outcome, Outcome::CorrectSkip),
+            }
+        }
+        system.check_invariants().unwrap();
+        let report = system.report();
+        assert_eq!(report.outcomes.resolved(), 10);
+        assert_eq!(report.precision, Some(1.0));
+        assert_eq!(report.recall, Some(1.0));
+        assert_eq!(report.waste_ratio, Some(0.0));
+        assert_eq!(report.cache.hits, 5);
+        assert_eq!(system.scheduler().inflight(), 0);
+        assert!(system.cache().is_empty());
+    }
+
+    #[test]
+    fn budget_exhaustion_downgrades_to_denied() {
+        let mut system = PrecomputeSystem::new(SystemConfig {
+            budget: BudgetConfig {
+                capacity_units: 30.0,
+                refill_units_per_sec: 0.0,
+                cost_per_prefetch_units: 10.0,
+                max_inflight: 64,
+            },
+            ..config()
+        });
+        let wave: Vec<Prediction> = (0..8).map(|i| prediction(i, 0.9)).collect();
+        let decisions = system.handle_scores(&wave, 0);
+        let admitted = decisions
+            .iter()
+            .filter(|d| d.action == Action::Prefetch)
+            .count();
+        let denied = decisions
+            .iter()
+            .filter(|d| d.action == Action::Denied)
+            .count();
+        assert_eq!(admitted, 3, "bucket holds exactly 3 prefetches");
+        assert_eq!(denied, 5);
+        system.check_invariants().unwrap();
+        // A denied decision for an accessed session is a missed access.
+        for i in 0..8u64 {
+            let _ = system.resolve_session(UserId(i), 5, true).unwrap();
+        }
+        let counts = system.tracker().counts();
+        assert_eq!(counts.hits, 3);
+        assert_eq!(counts.missed_accesses, 5);
+        system.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn expired_payload_counts_against_precision() {
+        let mut system = PrecomputeSystem::new(config());
+        system.handle_scores(&[prediction(1, 0.9)], 0);
+        // Resolve long after the 600 s TTL.
+        let outcome = system.resolve_session(UserId(1), 10_000, true).unwrap();
+        assert_eq!(outcome, Outcome::ExpiredPrefetch);
+        assert_eq!(system.report().precision, Some(0.0));
+        system.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn unresolved_previous_session_is_swept_on_the_next_wave() {
+        let mut system = PrecomputeSystem::new(config());
+        system.handle_scores(&[prediction(7, 0.9)], 0);
+        // The ground truth for session 1 never arrived; session 2 starts.
+        let second = system.handle_scores(&[prediction(7, 0.9)], 100);
+        assert_eq!(second.len(), 1);
+        system.check_invariants().unwrap();
+        let counts = system.tracker().counts();
+        // The orphaned prefetch resolved as waste; the new one is pending.
+        assert_eq!(counts.wasted_prefetches, 1);
+        assert_eq!(system.tracker().pending_len(), 1);
+    }
+
+    #[test]
+    fn adaptive_loop_holds_target_precision_on_drifting_traffic() {
+        // Scores uniform; P(access | score) = score^2 in the first phase
+        // (hard traffic: high scores over-promise), then = score in the
+        // second (scores become honest). The controller must track the
+        // target through the shift.
+        let target = 0.7;
+        let mut system = PrecomputeSystem::new(SystemConfig {
+            initial_threshold: 0.3,
+            budget: BudgetConfig {
+                capacity_units: 1e9,
+                refill_units_per_sec: 1e6,
+                cost_per_prefetch_units: 1.0,
+                max_inflight: 1_000_000,
+            },
+            cache: CacheConfig {
+                shards: 8,
+                capacity_per_shard: 1 << 20,
+                ttl_secs: 1_000,
+            },
+            controller: ControllerConfig {
+                target_precision: target,
+                window: 250,
+                gain: 0.5,
+                min_threshold: 0.01,
+                max_threshold: 0.99,
+            },
+            payload_bytes: 8,
+        });
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut now = 0i64;
+        for step in 0..120_000u64 {
+            now += 1;
+            let score: f64 = rng.gen();
+            let p_access = if step < 60_000 { score * score } else { score };
+            let accessed = rng.gen::<f64>() < p_access;
+            system.handle_scores(&[prediction(step, score)], now);
+            system.resolve_session(UserId(step), now, accessed).unwrap();
+        }
+        system.check_invariants().unwrap();
+        let report = system.report();
+        assert!(report.controller_windows > 20);
+        // The *last window* precision — the live operating point — holds
+        // the target within the paper-style tolerance.
+        let last = system.controller().last_snapshot().unwrap();
+        assert!(
+            (last.observed_precision - target).abs() < 0.1,
+            "last window precision {} should track target {target}",
+            last.observed_precision
+        );
+    }
+}

@@ -95,7 +95,12 @@ pub struct BatchScheduler<'a> {
     model: &'a RnnModel,
     store: &'a ShardedStateStore,
     max_batch: usize,
-    queue: VecDeque<PredictRequest>,
+    /// Oldest-first queue of (submission time, request); requests submitted
+    /// without a timestamp carry `i64::MIN` and are always considered due.
+    queue: VecDeque<(i64, PredictRequest)>,
+    /// Maximum seconds a queued request may wait before a partial batch
+    /// flushes anyway (`None` = only flush when asked or full).
+    max_wait_secs: Option<i64>,
     stats: SchedulerStats,
 }
 
@@ -112,13 +117,39 @@ impl<'a> BatchScheduler<'a> {
             store,
             max_batch,
             queue: VecDeque::new(),
+            max_wait_secs: None,
             stats: SchedulerStats::default(),
         }
+    }
+
+    /// Creates a scheduler whose [`BatchScheduler::flush_due`] flushes a
+    /// partial batch once its oldest request has waited `max_wait_secs` —
+    /// under low traffic requests are served within the deadline instead of
+    /// waiting (potentially forever) for `max_batch` arrivals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` is zero or `max_wait_secs` is negative.
+    pub fn with_max_wait(
+        model: &'a RnnModel,
+        store: &'a ShardedStateStore,
+        max_batch: usize,
+        max_wait_secs: i64,
+    ) -> Self {
+        assert!(max_wait_secs >= 0, "max_wait_secs must be non-negative");
+        let mut scheduler = Self::new(model, store, max_batch);
+        scheduler.max_wait_secs = Some(max_wait_secs);
+        scheduler
     }
 
     /// The configured maximum batch size.
     pub fn max_batch(&self) -> usize {
         self.max_batch
+    }
+
+    /// The configured partial-batch flush deadline, if any.
+    pub fn max_wait_secs(&self) -> Option<i64> {
+        self.max_wait_secs
     }
 
     /// Number of queued, not-yet-flushed requests.
@@ -131,15 +162,54 @@ impl<'a> BatchScheduler<'a> {
         self.stats
     }
 
-    /// Queues one session-start request.
+    /// Queues one session-start request with unknown submission time: when
+    /// a `max_wait` deadline is configured, [`BatchScheduler::flush_due`]
+    /// treats it as having already waited past any deadline.
     pub fn submit(&mut self, request: PredictRequest) {
-        self.queue.push_back(request);
+        self.queue.push_back((i64::MIN, request));
+    }
+
+    /// Queues one session-start request submitted at `now` (seconds on the
+    /// same clock later passed to [`BatchScheduler::flush_due`]).
+    pub fn submit_at(&mut self, request: PredictRequest, now: i64) {
+        self.queue.push_back((now, request));
     }
 
     /// Flushes the queue, serving every pending request in batches of up to
     /// `max_batch`. Results are in submission order.
     pub fn flush(&mut self) -> Vec<Prediction> {
-        let requests: Vec<PredictRequest> = self.queue.drain(..).collect();
+        let requests: Vec<PredictRequest> = self.queue.drain(..).map(|(_, r)| r).collect();
+        self.serve_chunks(&requests)
+    }
+
+    /// Flushes only what is *due* at `now`: every full batch, plus — when a
+    /// `max_wait` deadline is configured — a final partial batch whose
+    /// oldest request has already waited `max_wait_secs`. Without a deadline
+    /// this serves full batches only, leaving the remainder queued.
+    pub fn flush_due(&mut self, now: i64) -> Vec<Prediction> {
+        let mut due = self.queue.len() - self.queue.len() % self.max_batch;
+        if due < self.queue.len() {
+            if let Some(max_wait) = self.max_wait_secs {
+                // Submission times are caller-supplied and need not be
+                // monotone, so scan the leftovers for the earliest stamp
+                // (an untimed `submit` stamp of `i64::MIN` is always due).
+                let oldest = self
+                    .queue
+                    .iter()
+                    .skip(due)
+                    .map(|&(submitted, _)| submitted)
+                    .min()
+                    .expect("leftover entries exist");
+                if oldest == i64::MIN || now.saturating_sub(oldest) >= max_wait {
+                    due = self.queue.len();
+                }
+            }
+        }
+        let requests: Vec<PredictRequest> = self.queue.drain(..due).map(|(_, r)| r).collect();
+        self.serve_chunks(&requests)
+    }
+
+    fn serve_chunks(&mut self, requests: &[PredictRequest]) -> Vec<Prediction> {
         let mut out = Vec::with_capacity(requests.len());
         for chunk in requests.chunks(self.max_batch) {
             out.extend(predict_chunk(self.model, self.store, chunk));
@@ -276,6 +346,9 @@ struct EngineShared {
     model: Arc<RnnModel>,
     store: Arc<ShardedStateStore>,
     max_batch: usize,
+    /// How long a worker holds a non-full batch open for more arrivals
+    /// before serving it (`None` = serve whatever is queued immediately).
+    coalesce_wait: Option<std::time::Duration>,
     queue: Mutex<VecDeque<Job>>,
     available: Condvar,
     shutdown: AtomicBool,
@@ -329,12 +402,32 @@ impl BatchServingEngine {
         workers: usize,
         max_batch: usize,
     ) -> Self {
+        Self::start_with_coalesce(model, store, workers, max_batch, None)
+    }
+
+    /// Starts `workers` worker threads that hold a non-full batch open for
+    /// up to `coalesce_wait` waiting for more arrivals — a max-wait
+    /// deadline: under heavy traffic batches fill immediately, under a
+    /// trickle the partial batch still flushes within the deadline instead
+    /// of serving everything as singletons.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` or `max_batch` is zero.
+    pub fn start_with_coalesce(
+        model: Arc<RnnModel>,
+        store: Arc<ShardedStateStore>,
+        workers: usize,
+        max_batch: usize,
+        coalesce_wait: Option<std::time::Duration>,
+    ) -> Self {
         assert!(workers > 0, "need at least one worker");
         assert!(max_batch > 0, "max_batch must be positive");
         let shared = Arc::new(EngineShared {
             model,
             store,
             max_batch,
+            coalesce_wait,
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -388,6 +481,22 @@ impl BatchServingEngine {
             .expect("engine worker dropped the reply channel")
     }
 
+    /// Submits a burst of requests in one queue lock and blocks until every
+    /// prediction is served, returning them in request order. This is the
+    /// integration point for downstream consumers (the `pp-precompute`
+    /// decision engine) that want one batched score vector per wave of
+    /// session starts.
+    pub fn predict_many_blocking(&self, requests: &[PredictRequest]) -> Vec<Prediction> {
+        self.submit_many(requests)
+            .into_iter()
+            .map(|receiver| {
+                receiver
+                    .recv()
+                    .expect("engine worker dropped the reply channel")
+            })
+            .collect()
+    }
+
     /// Counters accumulated so far.
     pub fn stats(&self) -> EngineStats {
         EngineStats {
@@ -413,14 +522,45 @@ fn worker_loop(shared: &EngineShared) {
         let jobs: Vec<Job> = {
             let mut queue = shared.queue.lock().expect("engine queue");
             loop {
-                if !queue.is_empty() {
-                    let take = queue.len().min(shared.max_batch);
-                    break queue.drain(..take).collect();
+                if queue.is_empty() {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    queue = shared.available.wait(queue).expect("engine condvar wait");
+                    continue;
                 }
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return;
+                // Hold a non-full batch open for stragglers up to the
+                // coalesce deadline; shutdown or a timeout flushes whatever
+                // is there. Other workers may drain the queue while we wait,
+                // so re-check emptiness afterwards.
+                if let Some(wait) = shared.coalesce_wait {
+                    let deadline = std::time::Instant::now() + wait;
+                    while queue.len() < shared.max_batch
+                        && !queue.is_empty()
+                        && !shared.shutdown.load(Ordering::SeqCst)
+                    {
+                        let now = std::time::Instant::now();
+                        let Some(remaining) = deadline.checked_duration_since(now) else {
+                            break;
+                        };
+                        if remaining.is_zero() {
+                            break;
+                        }
+                        let (q, result) = shared
+                            .available
+                            .wait_timeout(queue, remaining)
+                            .expect("engine condvar wait");
+                        queue = q;
+                        if result.timed_out() {
+                            break;
+                        }
+                    }
+                    if queue.is_empty() {
+                        continue;
+                    }
                 }
-                queue = shared.available.wait(queue).expect("engine condvar wait");
+                let take = queue.len().min(shared.max_batch);
+                break queue.drain(..take).collect();
             }
         };
 
@@ -613,6 +753,137 @@ mod tests {
         // forward passes, and at least one genuinely coalesced batch.
         assert!(stats.batches < 48, "batches = {}", stats.batches);
         assert!(stats.largest_batch > 1);
+    }
+
+    #[test]
+    fn flush_due_serves_full_batches_and_honors_deadline() {
+        let m = model();
+        let store = ShardedStateStore::new(2);
+        let mut scheduler = BatchScheduler::with_max_wait(&m, &store, 4, 30);
+        assert_eq!(scheduler.max_wait_secs(), Some(30));
+
+        // 6 requests submitted at t=100: one full batch is due immediately,
+        // the partial remainder is not.
+        for i in 0..6 {
+            scheduler.submit_at(request(i as u64, i), 100);
+        }
+        let served = scheduler.flush_due(100);
+        assert_eq!(served.len(), 4);
+        assert_eq!(scheduler.pending(), 2);
+
+        // Before the deadline nothing more flushes…
+        assert!(scheduler.flush_due(129).is_empty());
+        assert_eq!(scheduler.pending(), 2);
+        // …at the deadline the partial batch goes out.
+        let late = scheduler.flush_due(130);
+        assert_eq!(late.len(), 2);
+        assert_eq!(scheduler.pending(), 0);
+        let stats = scheduler.stats();
+        assert_eq!(stats.predictions, 6);
+        assert_eq!(stats.batches, 2);
+    }
+
+    #[test]
+    fn flush_due_without_deadline_keeps_partial_batches_queued() {
+        let m = model();
+        let store = ShardedStateStore::new(2);
+        let mut scheduler = BatchScheduler::new(&m, &store, 4);
+        for i in 0..3 {
+            scheduler.submit_at(request(i as u64, i), 0);
+        }
+        assert!(scheduler.flush_due(i64::MAX).is_empty());
+        assert_eq!(scheduler.pending(), 3);
+        // An untimed submit is always due once a deadline exists.
+        let mut timed = BatchScheduler::with_max_wait(&m, &store, 4, 1_000);
+        timed.submit(request(9, 9));
+        assert_eq!(timed.flush_due(0).len(), 1);
+        // …even when queued behind a fresher timed request.
+        timed.submit_at(request(1, 1), 100);
+        timed.submit(request(2, 2));
+        assert_eq!(timed.flush_due(150).len(), 2);
+        assert_eq!(timed.pending(), 0);
+    }
+
+    #[test]
+    fn deadline_flush_matches_single_request_path() {
+        let m = model();
+        let store = ShardedStateStore::new(2);
+        let mut scheduler = BatchScheduler::with_max_wait(&m, &store, 8, 10);
+        let requests: Vec<PredictRequest> = (0..3).map(|i| request(i as u64, i)).collect();
+        for r in &requests {
+            scheduler.submit_at(*r, 50);
+        }
+        let served = scheduler.flush_due(60);
+        assert_eq!(served.len(), 3);
+        for (request, prediction) in requests.iter().zip(&served) {
+            let state = store
+                .get_state(request.user_id)
+                .unwrap_or_else(|| m.initial_state());
+            let input = m.featurizer().predict_input(
+                request.timestamp,
+                &request.context,
+                request.elapsed_secs,
+            );
+            assert!((prediction.probability - m.predict_proba(&state, &input)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn coalescing_engine_serves_low_traffic_within_deadline() {
+        let m = Arc::new(model());
+        let store = Arc::new(ShardedStateStore::new(4));
+        let engine = BatchServingEngine::start_with_coalesce(
+            m.clone(),
+            store.clone(),
+            1,
+            64,
+            Some(std::time::Duration::from_millis(10)),
+        );
+        // A lone request must not wait forever for 63 peers.
+        let prediction = engine.predict_blocking(request(1, 1));
+        assert_eq!(prediction.user_id, UserId(1));
+        assert_eq!(engine.stats().predictions, 1);
+    }
+
+    #[test]
+    fn coalescing_engine_batches_a_trickle() {
+        let m = Arc::new(model());
+        let store = Arc::new(ShardedStateStore::new(4));
+        let engine = BatchServingEngine::start_with_coalesce(
+            m.clone(),
+            store.clone(),
+            1,
+            8,
+            Some(std::time::Duration::from_millis(200)),
+        );
+        // Submit one-by-one (the worst case for the immediate-drain engine);
+        // the coalescing worker holds the batch open and serves them together.
+        let receivers: Vec<_> = (0..8)
+            .map(|i| engine.submit(request(i as u64, i)))
+            .collect();
+        for receiver in receivers {
+            receiver.recv().unwrap();
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.predictions, 8);
+        assert!(
+            stats.largest_batch >= 2,
+            "coalesce window should batch a trickle (largest {})",
+            stats.largest_batch
+        );
+    }
+
+    #[test]
+    fn predict_many_blocking_returns_in_request_order() {
+        let m = Arc::new(model());
+        let store = Arc::new(ShardedStateStore::new(4));
+        let engine = BatchServingEngine::start(m.clone(), store.clone(), 2, 16);
+        let requests: Vec<PredictRequest> = (0..20).map(|i| request(i as u64, i)).collect();
+        let predictions = engine.predict_many_blocking(&requests);
+        assert_eq!(predictions.len(), 20);
+        for (request, prediction) in requests.iter().zip(&predictions) {
+            assert_eq!(request.user_id, prediction.user_id);
+        }
     }
 
     #[test]

@@ -71,6 +71,18 @@ impl Default for CostWeights {
     }
 }
 
+impl ServingProfile {
+    /// Total per-prediction cost of this path under `weights`, in abstract
+    /// FLOP-equivalent units — the single formula behind both the §9
+    /// comparison ([`compare`]) and the precompute budget
+    /// (`pp-precompute`'s token bucket is denominated in these units).
+    pub fn cost_units(&self, weights: &CostWeights) -> f64 {
+        self.lookups_per_prediction * weights.flops_per_lookup
+            + self.bytes_per_prediction * weights.flops_per_byte
+            + self.model_flops_per_prediction
+    }
+}
+
 /// Measures the serving profile of the aggregation-feature path on a sample
 /// of users: replays each user's history through [`AggregationState`] and
 /// records lookup counts, key counts and the GBDT evaluation cost.
@@ -134,11 +146,7 @@ pub fn compare(
     rnn: ServingProfile,
     weights: CostWeights,
 ) -> CostComparison {
-    let total = |p: &ServingProfile| {
-        p.lookups_per_prediction * weights.flops_per_lookup
-            + p.bytes_per_prediction * weights.flops_per_byte
-            + p.model_flops_per_prediction
-    };
+    let total = |p: &ServingProfile| p.cost_units(&weights);
     CostComparison {
         baseline,
         rnn,

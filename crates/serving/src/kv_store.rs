@@ -13,7 +13,7 @@
 use bytes::Bytes;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Running counters for one store.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -28,6 +28,8 @@ pub struct StoreStats {
     pub bytes_read: u64,
     /// Total bytes written.
     pub bytes_written: u64,
+    /// Entries evicted to stay within the capacity bound.
+    pub evictions: u64,
 }
 
 impl StoreStats {
@@ -41,31 +43,121 @@ impl StoreStats {
     }
 }
 
-/// A thread-safe, instrumented, in-memory key-value store.
+/// One stored value together with its recency stamp.
+#[derive(Debug)]
+struct Entry {
+    value: Bytes,
+    /// Monotone tick of the last touch; also the key into the LRU index.
+    tick: u64,
+}
+
+/// Map + recency index behind one lock so they can never disagree.
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<String, Entry>,
+    /// tick → key, ordered oldest-first; only maintained when bounded.
+    lru: BTreeMap<u64, String>,
+    next_tick: u64,
+}
+
+impl Inner {
+    fn touch(&mut self, key: &str) {
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        if let Some(entry) = self.map.get_mut(key) {
+            // Move the already-owned key String to its new tick slot
+            // instead of allocating a fresh one per read.
+            let owned = self
+                .lru
+                .remove(&entry.tick)
+                .unwrap_or_else(|| key.to_string());
+            entry.tick = tick;
+            self.lru.insert(tick, owned);
+        }
+    }
+}
+
+/// A thread-safe, instrumented, in-memory key-value store, optionally
+/// bounded to a maximum number of keys with least-recently-used eviction
+/// (per-user state otherwise grows without bound as the user population
+/// does).
 #[derive(Debug, Default)]
 pub struct KvStore {
-    map: RwLock<HashMap<String, Bytes>>,
+    inner: RwLock<Inner>,
+    capacity: Option<usize>,
     stats: RwLock<StoreStats>,
 }
 
 impl KvStore {
-    /// Creates an empty store.
+    /// Creates an empty, unbounded store.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Stores `value` under `key`, replacing any previous value.
+    /// Creates an empty store that holds at most `capacity` keys; inserting
+    /// beyond that evicts the least-recently-used key (both `get` and `put`
+    /// refresh recency) and bumps [`StoreStats::evictions`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            capacity: Some(capacity),
+            ..Self::default()
+        }
+    }
+
+    /// The capacity bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Stores `value` under `key`, replacing any previous value. When the
+    /// store is at capacity and `key` is new, the least-recently-used entry
+    /// is evicted first.
     pub fn put(&self, key: impl Into<String>, value: Bytes) {
+        let key = key.into();
         let mut stats = self.stats.write();
         stats.writes += 1;
         stats.bytes_written += value.len() as u64;
         drop(stats);
-        self.map.write().insert(key.into(), value);
+
+        let mut inner = self.inner.write();
+        let tick = inner.next_tick;
+        inner.next_tick += 1;
+        if let Some(old) = inner.map.insert(key.clone(), Entry { value, tick }) {
+            inner.lru.remove(&old.tick);
+        }
+        if let Some(capacity) = self.capacity {
+            inner.lru.insert(tick, key);
+            let mut evicted = 0u64;
+            while inner.map.len() > capacity {
+                let (&oldest_tick, _) = inner.lru.iter().next().expect("lru tracks map");
+                let victim = inner.lru.remove(&oldest_tick).expect("tick present");
+                inner.map.remove(&victim);
+                evicted += 1;
+            }
+            if evicted > 0 {
+                self.stats.write().evictions += evicted;
+            }
+        }
     }
 
-    /// Fetches the value under `key`, if any.
+    /// Fetches the value under `key`, if any. On a bounded store a hit also
+    /// refreshes the key's recency.
     pub fn get(&self, key: &str) -> Option<Bytes> {
-        let value = self.map.read().get(key).cloned();
+        let value = if self.capacity.is_some() {
+            let mut inner = self.inner.write();
+            let value = inner.map.get(key).map(|e| e.value.clone());
+            if value.is_some() {
+                inner.touch(key);
+            }
+            value
+        } else {
+            self.inner.read().map.get(key).map(|e| e.value.clone())
+        };
         let mut stats = self.stats.write();
         stats.reads += 1;
         if let Some(v) = &value {
@@ -77,22 +169,30 @@ impl KvStore {
 
     /// Removes the value under `key`, returning it if present.
     pub fn remove(&self, key: &str) -> Option<Bytes> {
-        self.map.write().remove(key)
+        let mut inner = self.inner.write();
+        let entry = inner.map.remove(key)?;
+        inner.lru.remove(&entry.tick);
+        Some(entry.value)
     }
 
     /// Number of keys currently stored.
     pub fn len(&self) -> usize {
-        self.map.read().len()
+        self.inner.read().map.len()
     }
 
     /// Returns `true` when the store holds no keys.
     pub fn is_empty(&self) -> bool {
-        self.map.read().is_empty()
+        self.inner.read().map.is_empty()
     }
 
     /// Total bytes currently stored across all values.
     pub fn stored_bytes(&self) -> u64 {
-        self.map.read().values().map(|v| v.len() as u64).sum()
+        self.inner
+            .read()
+            .map
+            .values()
+            .map(|e| e.value.len() as u64)
+            .sum()
     }
 
     /// Snapshot of the running counters.
@@ -273,6 +373,57 @@ mod tests {
         assert!(q.dequantize().iter().all(|&v| (v - 1.5).abs() < 1e-6));
         let q = QuantizedState::quantize(&[]);
         assert!(q.dequantize().is_empty());
+    }
+
+    #[test]
+    fn bounded_store_evicts_least_recently_used() {
+        let store = KvStore::with_capacity(3);
+        assert_eq!(store.capacity(), Some(3));
+        store.put("a", Bytes::from_static(b"1"));
+        store.put("b", Bytes::from_static(b"2"));
+        store.put("c", Bytes::from_static(b"3"));
+        // Touch "a" so "b" becomes the least recently used.
+        assert!(store.get("a").is_some());
+        store.put("d", Bytes::from_static(b"4"));
+        assert_eq!(store.len(), 3);
+        assert!(store.get("b").is_none(), "LRU key should be evicted");
+        assert!(store.get("a").is_some());
+        assert!(store.get("c").is_some());
+        assert!(store.get("d").is_some());
+        assert_eq!(store.stats().evictions, 1);
+    }
+
+    #[test]
+    fn bounded_store_replacement_does_not_evict() {
+        let store = KvStore::with_capacity(2);
+        store.put("a", Bytes::from_static(b"1"));
+        store.put("b", Bytes::from_static(b"2"));
+        // Overwriting an existing key keeps the store at capacity.
+        store.put("a", Bytes::from_static(b"11"));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.stats().evictions, 0);
+        assert_eq!(store.get("a").unwrap(), Bytes::from_static(b"11"));
+    }
+
+    #[test]
+    fn bounded_store_never_exceeds_capacity() {
+        let store = KvStore::with_capacity(8);
+        for i in 0..100 {
+            store.put(format!("k-{i}"), Bytes::from(vec![0u8; 4]));
+            assert!(store.len() <= 8, "len {} exceeds capacity", store.len());
+        }
+        assert_eq!(store.len(), 8);
+        assert_eq!(store.stats().evictions, 92);
+        // The survivors are exactly the 8 most recently inserted keys.
+        for i in 92..100 {
+            assert!(store.get(&format!("k-{i}")).is_some(), "k-{i} missing");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = KvStore::with_capacity(0);
     }
 
     #[test]

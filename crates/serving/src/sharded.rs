@@ -35,6 +35,34 @@ impl ShardedStateStore {
         }
     }
 
+    /// Creates a store bounded to roughly `total_capacity` states across
+    /// `num_shards` shards: each shard holds at most
+    /// `ceil(total_capacity / num_shards)` states and evicts its
+    /// least-recently-used state beyond that (evictions show up in
+    /// [`StoreStats::evictions`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards` or `total_capacity` is zero.
+    pub fn with_capacity(num_shards: usize, total_capacity: usize) -> Self {
+        assert!(num_shards > 0, "ShardedStateStore needs at least one shard");
+        assert!(total_capacity > 0, "total_capacity must be positive");
+        let per_shard = total_capacity.div_ceil(num_shards);
+        Self {
+            shards: (0..num_shards)
+                .map(|_| KvStore::with_capacity(per_shard))
+                .collect(),
+        }
+    }
+
+    /// Maximum number of states the store can hold (`None` when unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.shards
+            .iter()
+            .map(KvStore::capacity)
+            .try_fold(0usize, |acc, c| c.map(|c| acc + c))
+    }
+
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
         self.shards.len()
@@ -108,6 +136,7 @@ impl ShardedStateStore {
             total.hits += s.hits;
             total.bytes_read += s.bytes_read;
             total.bytes_written += s.bytes_written;
+            total.evictions += s.evictions;
         }
         total
     }
@@ -189,6 +218,27 @@ mod tests {
         assert_eq!(store.remove_state(UserId(7)).unwrap(), vec![7.0; 4]);
         assert!(store.get_state(UserId(7)).is_none());
         assert_eq!(store.get_state(UserId(8)).unwrap(), vec![8.0; 4]);
+    }
+
+    #[test]
+    fn bounded_store_caps_population_and_counts_evictions() {
+        let store = ShardedStateStore::with_capacity(4, 64);
+        assert_eq!(store.capacity(), Some(64));
+        assert_eq!(ShardedStateStore::new(4).capacity(), None);
+        for id in 0..1_000u64 {
+            store.put_state(UserId(id), &[id as f32; 8]);
+        }
+        // Each shard holds at most ceil(64/4) = 16 states.
+        assert!(store.len() <= 64, "len {} exceeds capacity", store.len());
+        for shard in 0..store.num_shards() {
+            assert!(store.shard(shard).len() <= 16);
+        }
+        let stats = store.stats();
+        assert_eq!(stats.writes, 1_000);
+        assert_eq!(stats.evictions, 1_000 - store.len() as u64);
+        // Recently written users survive; a long-evicted one is gone.
+        assert!(store.get_state(UserId(999)).is_some());
+        assert!(store.get_state(UserId(0)).is_none());
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! | [`rnn`] | `pp-rnn` | the paper's GRU model, update-lag sequences, trainer |
 //! | [`metrics`] | `pp-metrics` | PR curves, PR-AUC, recall@precision, log loss |
 //! | [`serving`] | `pp-serving` | hidden-state store, stream-join pipeline, cost model |
+//! | [`precompute`] | `pp-precompute` | decision engine, budgeted prefetch scheduler/cache, outcome accounting, adaptive thresholds |
 //! | [`core`] | `pp-core` | experiment drivers (Tables 3–5, Figures 1–7), policies |
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and
@@ -60,6 +61,8 @@ pub use pp_features as features;
 pub use pp_metrics as metrics;
 /// Re-export of the neural-network toolkit (`pp-nn`).
 pub use pp_nn as nn;
+/// Re-export of the precompute-execution crate (`pp-precompute`).
+pub use pp_precompute as precompute;
 /// Re-export of the recurrent-model crate (`pp-rnn`).
 pub use pp_rnn as rnn;
 /// Re-export of the serving-simulation crate (`pp-serving`).
