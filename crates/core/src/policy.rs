@@ -95,11 +95,23 @@ impl PrecomputePolicy {
     /// Re-fits the threshold for this policy's recorded precision target on
     /// a fresh held-out sample — the periodic recalibration step of a
     /// production deployment as traffic drifts. Returns `None` when the
-    /// target has become unachievable on the new sample; a policy without a
-    /// recorded target is returned unchanged.
+    /// target has become unachievable on the new sample *or* the sample is
+    /// degenerate (empty, all-positive or all-negative labels): an
+    /// all-negative window cannot meet any positive target, and an
+    /// all-positive window would "achieve" any target at the lowest observed
+    /// score, collapsing the threshold on what is pure luck-of-the-window —
+    /// both carry no calibration signal, so the caller must hold the current
+    /// threshold instead. A policy without a recorded target is returned
+    /// unchanged.
     pub fn recalibrate(&self, scores: &[f64], labels: &[bool]) -> Option<Self> {
         match self.target_precision {
-            Some(target) => Self::for_target_precision(scores, labels, target),
+            Some(target) => {
+                let positives = labels.iter().filter(|&&l| l).count();
+                if positives == 0 || positives == labels.len() {
+                    return None;
+                }
+                Self::for_target_precision(scores, labels, target)
+            }
             None => Some(*self),
         }
     }
@@ -220,6 +232,22 @@ mod tests {
         let fixed = PrecomputePolicy::with_threshold(0.3);
         assert_eq!(fixed.recalibrate(&[0.1], &[false]).unwrap(), fixed);
     }
+
+    #[test]
+    fn recalibrate_rejects_degenerate_windows() {
+        let policy = PrecomputePolicy::with_threshold_for_target(0.5, 0.6);
+        // All-negative: the target is unachievable.
+        assert!(policy.recalibrate(&[0.9, 0.2, 0.4], &[false; 3]).is_none());
+        // All-positive: "any threshold works" is no signal — before the fix
+        // this collapsed the threshold to the lowest observed score.
+        assert!(policy.recalibrate(&[0.9, 0.2, 0.4], &[true; 3]).is_none());
+        // Empty window: nothing to calibrate on.
+        assert!(policy.recalibrate(&[], &[]).is_none());
+        // One positive among negatives is already enough to refit.
+        assert!(policy
+            .recalibrate(&[0.9, 0.2, 0.4], &[true, false, false])
+            .is_some());
+    }
 }
 
 #[cfg(test)]
@@ -288,6 +316,53 @@ mod properties {
                 prop_assert!(
                     easy.threshold() <= hard.threshold(),
                     "target {lo} -> threshold {}, target {hi} -> threshold {}",
+                    easy.threshold(),
+                    hard.threshold()
+                );
+            }
+        }
+
+        #[test]
+        fn recalibration_is_a_no_op_on_degenerate_windows(
+            scores in prop::collection::vec(0.0f64..1.0, 1..80),
+            all_positive in any::<bool>(),
+            target in 0.05f64..0.95,
+            threshold in 0.0f64..1.0,
+        ) {
+            let policy = PrecomputePolicy::with_threshold_for_target(threshold, target);
+            let labels = vec![all_positive; scores.len()];
+            // A window whose labels are all one class carries no signal:
+            // recalibrate must report `None` so the caller holds the
+            // threshold it already has.
+            prop_assert!(policy.recalibrate(&scores, &labels).is_none());
+        }
+
+        #[test]
+        fn recalibrated_threshold_is_monotone_in_the_target_on_clean_windows(
+            scores in prop::collection::vec(0.0f64..1.0, 2..120),
+            labels in prop::collection::vec(any::<bool>(), 2..120),
+            t1 in 0.05f64..0.95,
+            t2 in 0.05f64..0.95,
+        ) {
+            let n = scores.len().min(labels.len());
+            let scores = &scores[..n];
+            let labels = &labels[..n];
+            // Only clean (mixed-label) windows carry calibration signal.
+            prop_assume!(labels.iter().any(|&l| l) && labels.iter().any(|&l| !l));
+            let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+            let easy = PrecomputePolicy::with_threshold_for_target(0.5, lo)
+                .recalibrate(scores, labels);
+            let hard = PrecomputePolicy::with_threshold_for_target(0.5, hi)
+                .recalibrate(scores, labels);
+            // A harder target can become infeasible, but never *easier*, and
+            // when both refit the harder target demands a higher threshold.
+            if easy.is_none() {
+                prop_assert!(hard.is_none());
+            }
+            if let (Some(easy), Some(hard)) = (easy, hard) {
+                prop_assert!(
+                    easy.threshold() <= hard.threshold(),
+                    "target {lo} -> {}, target {hi} -> {}",
                     easy.threshold(),
                     hard.threshold()
                 );

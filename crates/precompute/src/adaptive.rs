@@ -123,6 +123,15 @@ impl AdaptiveThresholdController {
         self.last_snapshot
     }
 
+    /// Moves the operating point to an externally computed threshold — the
+    /// entry point for a recalibration fit on drained outcome samples —
+    /// clamped to the controller's safe band. The open adjustment window
+    /// keeps accumulating: an external move is a better estimate of the
+    /// operating point, not a reason to discard its evidence.
+    pub fn set_threshold(&mut self, threshold: f64) {
+        self.threshold = threshold.clamp(self.config.min_threshold, self.config.max_threshold);
+    }
+
     /// Feeds one resolved outcome. Only executed prefetches advance the
     /// window (skips say nothing about precision). When the window fills,
     /// the threshold moves by `gain × (target − observed)` — precision too
@@ -228,6 +237,26 @@ mod tests {
             let _ = c.observe(Outcome::Hit);
         }
         assert!((c.threshold() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn external_threshold_moves_are_clamped_to_the_safe_band() {
+        let mut c = controller(4);
+        c.set_threshold(0.62);
+        assert!((c.threshold() - 0.62).abs() < 1e-12);
+        c.set_threshold(1.0);
+        assert!((c.threshold() - 0.95).abs() < 1e-12);
+        c.set_threshold(0.0);
+        assert!((c.threshold() - 0.05).abs() < 1e-12);
+        // The open window's evidence is retained: one more waste after the
+        // move still closes the 4-wide window with full counts.
+        c.set_threshold(0.5);
+        for _ in 0..3 {
+            assert!(c.observe(Outcome::Hit).is_none());
+        }
+        let snapshot = c.observe(Outcome::WastedPrefetch).unwrap();
+        assert_eq!(snapshot.prefetches, 4);
+        assert!((snapshot.threshold_before - 0.5).abs() < 1e-12);
     }
 
     #[test]

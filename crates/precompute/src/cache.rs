@@ -66,6 +66,20 @@ struct Shard {
     next_tick: u64,
 }
 
+/// What one `Shard::insert` did, for the stats ledger.
+#[derive(Debug, Default)]
+struct InsertEffects {
+    replaced: bool,
+    /// Still-fresh payloads displaced by the capacity bound.
+    lru_evicted: u64,
+    /// Already-expired payloads dropped while making room: these were dead
+    /// before the bound hit them, so they count as expirations, not
+    /// evictions — otherwise the eviction counter blames memory pressure
+    /// for staleness and the expired/evicted split stops matching the
+    /// outcome accounting.
+    expired: u64,
+}
+
 impl Shard {
     fn insert(
         &mut self,
@@ -73,7 +87,8 @@ impl Shard {
         payload: Bytes,
         expires_at: i64,
         capacity: usize,
-    ) -> (bool, u64) {
+        now: i64,
+    ) -> InsertEffects {
         let tick = self.next_tick;
         self.next_tick += 1;
         let replaced = match self.map.insert(
@@ -91,14 +106,21 @@ impl Shard {
             None => false,
         };
         self.lru.insert(tick, user);
-        let mut evicted = 0u64;
+        let mut effects = InsertEffects {
+            replaced,
+            ..InsertEffects::default()
+        };
         while self.map.len() > capacity {
             let (&oldest, _) = self.lru.iter().next().expect("lru tracks map");
             let victim = self.lru.remove(&oldest).expect("tick present");
-            self.map.remove(&victim);
-            evicted += 1;
+            let entry = self.map.remove(&victim).expect("lru entry backed by map");
+            if entry.expires_at <= now {
+                effects.expired += 1;
+            } else {
+                effects.lru_evicted += 1;
+            }
         }
-        (replaced, evicted)
+        effects
     }
 
     fn take(&mut self, user: u64) -> Option<Entry> {
@@ -106,6 +128,35 @@ impl Shard {
         self.lru.remove(&entry.tick);
         Some(entry)
     }
+
+    /// Reads without consuming. A fresh entry is touched (its LRU recency
+    /// refreshed); an expired entry is dropped *without* a recency touch —
+    /// stale data must not look recently useful on its way out.
+    fn get(&mut self, user: u64, now: i64) -> GetResult {
+        let Some(entry) = self.map.get(&user) else {
+            return GetResult::Miss;
+        };
+        if entry.expires_at <= now {
+            let entry = self.map.remove(&user).expect("just observed");
+            self.lru.remove(&entry.tick);
+            return GetResult::Expired;
+        }
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        let entry = self.map.get_mut(&user).expect("just observed");
+        self.lru.remove(&entry.tick);
+        entry.tick = tick;
+        self.lru.insert(tick, user);
+        GetResult::Fresh(entry.payload.clone())
+    }
+}
+
+/// Outcome of a non-consuming shard read.
+#[derive(Debug)]
+enum GetResult {
+    Fresh(Bytes),
+    Expired,
+    Miss,
 }
 
 /// A sharded, TTL + LRU bounded store of precomputed payloads.
@@ -156,21 +207,49 @@ impl PrefetchCache {
 
     /// Stores the payload prefetched for `user` at time `now`, replacing
     /// any previous payload for the same user; evicts the shard's
-    /// least-recently-touched payload when the shard is full.
+    /// least-recently-touched payload when the shard is full. A displaced
+    /// payload that had already expired counts as an expiration, not an LRU
+    /// eviction — it was dead before the capacity bound touched it.
     pub fn insert(&self, user: UserId, payload: Bytes, now: i64) {
         let shard = &self.shards[self.shard_index(user)];
-        let (replaced, evicted) = shard.lock().insert(
+        let effects = shard.lock().insert(
             user.0,
             payload,
             now + self.config.ttl_secs,
             self.config.capacity_per_shard,
+            now,
         );
         let mut stats = self.stats.lock();
         stats.insertions += 1;
-        if replaced {
+        if effects.replaced {
             stats.replacements += 1;
         }
-        stats.lru_evictions += evicted;
+        stats.lru_evictions += effects.lru_evicted;
+        stats.expirations += effects.expired;
+    }
+
+    /// Reads the payload held for `user` without consuming it. A fresh
+    /// payload is returned and its LRU recency refreshed; an expired payload
+    /// is dropped on discovery — counted as `expired`, never as an LRU
+    /// eviction, and without a recency touch on the way out.
+    pub fn get(&self, user: UserId, now: i64) -> Option<Bytes> {
+        let shard = &self.shards[self.shard_index(user)];
+        let result = shard.lock().get(user.0, now);
+        let mut stats = self.stats.lock();
+        match result {
+            GetResult::Fresh(payload) => {
+                stats.hits += 1;
+                Some(payload)
+            }
+            GetResult::Expired => {
+                stats.expirations += 1;
+                None
+            }
+            GetResult::Miss => {
+                stats.misses += 1;
+                None
+            }
+        }
     }
 
     /// Consumes the payload held for `user`, if it is still fresh at `now`.
@@ -323,6 +402,64 @@ mod tests {
         assert_eq!(c.len(), 5);
         assert_eq!(c.stored_bytes(), 20);
         assert!(c.take(UserId(9), 95).is_some());
+    }
+
+    #[test]
+    fn get_reads_without_consuming_and_refreshes_recency() {
+        let c = cache(2, 100);
+        c.insert(UserId(1), Bytes::from_static(b"a"), 0);
+        c.insert(UserId(2), Bytes::from_static(b"b"), 1);
+        // A fresh get does not consume…
+        assert_eq!(c.get(UserId(1), 50).unwrap(), Bytes::from_static(b"a"));
+        assert_eq!(c.get(UserId(1), 50).unwrap(), Bytes::from_static(b"a"));
+        assert_eq!(c.len(), 2);
+        // …and refreshes recency: user 2 is now the LRU victim.
+        c.insert(UserId(3), Bytes::from_static(b"c"), 2);
+        assert!(c.get(UserId(2), 3).is_none());
+        assert!(c.get(UserId(1), 3).is_some());
+        let stats = c.stats();
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.lru_evictions, 1);
+    }
+
+    #[test]
+    fn expired_entry_on_get_counts_as_expired_and_skips_the_recency_touch() {
+        let c = cache(2, 100);
+        c.insert(UserId(1), Bytes::from_static(b"old"), 0);
+        c.insert(UserId(2), Bytes::from_static(b"young"), 150);
+        // User 1's payload expired at t=100; discovering that on get() must
+        // count as `expired`, not `evicted`, and must not refresh recency —
+        // the entry is dropped outright.
+        assert!(c.get(UserId(1), 200).is_none());
+        let stats = c.stats();
+        assert_eq!(stats.expirations, 1);
+        assert_eq!(stats.lru_evictions, 0);
+        assert_eq!(c.len(), 1);
+        // The fresh entry is untouched and the freed slot is reusable
+        // without an eviction.
+        c.insert(UserId(3), Bytes::from_static(b"new"), 200);
+        assert_eq!(c.stats().lru_evictions, 0);
+        assert!(c.get(UserId(2), 200).is_some());
+        assert!(c.get(UserId(3), 200).is_some());
+    }
+
+    #[test]
+    fn lru_displacement_of_an_expired_entry_counts_as_expiration() {
+        let c = cache(2, 10);
+        c.insert(UserId(1), Bytes::from_static(b"dead"), 0); // expires at 10
+        c.insert(UserId(2), Bytes::from_static(b"live"), 95);
+        // At t=100 the shard is full and user 1's payload is long expired:
+        // displacing it is an expiration, not a capacity eviction.
+        c.insert(UserId(3), Bytes::from_static(b"new"), 100);
+        let stats = c.stats();
+        assert_eq!(stats.expirations, 1);
+        assert_eq!(stats.lru_evictions, 0);
+        // Displacing the still-fresh user 2 at t=100 *is* an eviction.
+        c.insert(UserId(4), Bytes::from_static(b"newer"), 100);
+        let stats = c.stats();
+        assert_eq!(stats.expirations, 1);
+        assert_eq!(stats.lru_evictions, 1);
     }
 
     #[test]

@@ -16,19 +16,29 @@
 //! * [`scheduler`] — the [`PrefetchScheduler`]: token-bucket admission with
 //!   a max-inflight cap, costing each prefetch in the abstract cost units
 //!   of `pp-serving::cost` ([`prefetch_cost_units`]), so "budget" means the
-//!   same thing as the §9 serving-cost model;
+//!   same thing as the §9 serving-cost model; fractional-clock refill, and
+//!   [`AdmissionOrder`]-controlled wave admission (FIFO, or
+//!   highest-probability-first so a low bucket is spent on the prefetches
+//!   most likely to become hits);
 //! * [`cache`] — the sharded [`PrefetchCache`]: TTL + LRU bounded storage
-//!   for precomputed payloads keyed by user;
+//!   for precomputed payloads keyed by user (a TTL-expired payload counts
+//!   as expired, never as an LRU eviction);
 //! * [`outcome`] — the [`OutcomeTracker`]: resolves every decision against
 //!   what the session actually did (hit / wasted prefetch / expired
-//!   prefetch / missed access / correct skip) with exact conservation, and
-//!   emits live precision / recall / waste;
+//!   prefetch / missed access / correct skip) with exact conservation,
+//!   emits live precision / recall / waste, and retains drainable
+//!   ([`ResolvedSample`]) (score, label) pairs for recalibration;
 //! * [`adaptive`] — the [`AdaptiveThresholdController`]: nudges the
 //!   decision threshold online, window by window, to hold the target
 //!   precision as traffic drifts;
 //! * [`system`] — the [`PrecomputeSystem`] wiring all five together behind
 //!   two calls: `handle_scores` at session start, `resolve_session` when
-//!   the ground truth lands.
+//!   the ground truth lands — plus the learned feedback loop
+//!   (`on_window_resolved`): every closed controller window drains the
+//!   tracker's (score, label) samples into
+//!   [`pp_core::PrecomputePolicy::recalibrate`] and applies the refit
+//!   threshold, with a starvation fallback so a saturated threshold
+//!   recovers from resolved skips instead of deadlocking.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -43,8 +53,9 @@ pub mod system;
 pub use adaptive::{AdaptiveThresholdController, ControllerConfig, WindowSnapshot};
 pub use cache::{CacheConfig, CacheStats, PrefetchCache};
 pub use decision::{Action, Decision, DecisionEngine, DecisionStats};
-pub use outcome::{Outcome, OutcomeCounts, OutcomeTracker};
+pub use outcome::{Outcome, OutcomeCounts, OutcomeTracker, ResolvedSample, MAX_RETAINED_SAMPLES};
 pub use scheduler::{
-    prefetch_cost_units, AdmitResult, BudgetConfig, PrefetchScheduler, SchedulerBudgetStats,
+    prefetch_cost_units, AdmissionOrder, AdmitResult, BudgetConfig, PrefetchScheduler,
+    SchedulerBudgetStats,
 };
 pub use system::{PrecomputeSystem, SystemConfig, SystemReport};

@@ -10,7 +10,7 @@
 
 use crate::decision::{Action, Decision};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// How one resolved decision turned out.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -94,6 +94,26 @@ impl OutcomeCounts {
     }
 }
 
+/// One resolved decision reduced to the (score, label) pair a calibration
+/// step needs: the predicted probability the decision was taken at, and
+/// whether the session actually accessed the activity. Resolutions of every
+/// action kind contribute — skips and denials label the below-threshold
+/// score range, which is exactly what a recalibration fit must see to place
+/// the threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResolvedSample {
+    /// Predicted access probability at decision time.
+    pub score: f64,
+    /// Ground truth: did the session access the activity?
+    pub label: bool,
+}
+
+/// Most recent resolutions kept for [`OutcomeTracker::drain_samples`] when
+/// nobody drains (bounded so an un-drained tracker cannot grow forever).
+/// Anything waiting on a sample count must trigger at or below this bound —
+/// `samples_len()` can never exceed it.
+pub const MAX_RETAINED_SAMPLES: usize = 8_192;
+
 /// Resolves decisions against observed session outcomes.
 #[derive(Debug, Default)]
 pub struct OutcomeTracker {
@@ -101,6 +121,8 @@ pub struct OutcomeTracker {
     pending: HashMap<u64, Decision>,
     counts: OutcomeCounts,
     recorded: u64,
+    /// (score, label) pairs of recent resolutions, oldest first.
+    samples: VecDeque<ResolvedSample>,
 }
 
 impl OutcomeTracker {
@@ -161,6 +183,13 @@ impl OutcomeTracker {
             }
         };
         self.counts.bump(outcome);
+        self.samples.push_back(ResolvedSample {
+            score: decision.probability,
+            label: accessed,
+        });
+        if self.samples.len() > MAX_RETAINED_SAMPLES {
+            self.samples.pop_front();
+        }
         Some(outcome)
     }
 
@@ -184,6 +213,19 @@ impl OutcomeTracker {
     /// Decisions still awaiting resolution.
     pub fn pending_len(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Number of (score, label) samples awaiting a drain.
+    pub fn samples_len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Drains the (score, label) pairs of every resolution since the last
+    /// drain (bounded to the most recent 8 192), oldest first — the window
+    /// of labelled observations a [`pp_core::PrecomputePolicy::recalibrate`]
+    /// step consumes.
+    pub fn drain_samples(&mut self) -> Vec<ResolvedSample> {
+        self.samples.drain(..).collect()
     }
 
     /// Checks conservation: every recorded decision is either resolved into
@@ -270,6 +312,51 @@ mod tests {
         let mut t = OutcomeTracker::new();
         t.record(decision(1, Action::Skip));
         t.record(decision(1, Action::Skip));
+    }
+
+    #[test]
+    fn resolutions_accumulate_drainable_score_label_samples() {
+        let mut t = OutcomeTracker::new();
+        t.record(Decision {
+            probability: 0.8,
+            ..decision(1, Action::Prefetch)
+        });
+        t.record(Decision {
+            probability: 0.2,
+            ..decision(2, Action::Skip)
+        });
+        t.record(Decision {
+            probability: 0.7,
+            ..decision(3, Action::Denied)
+        });
+        assert_eq!(t.samples_len(), 0);
+        t.resolve(UserId(1), true, true);
+        t.resolve(UserId(2), false, false);
+        t.resolve(UserId(3), true, false);
+        assert_eq!(t.samples_len(), 3);
+        let samples = t.drain_samples();
+        // Every action kind contributes, in resolution order, carrying the
+        // decision-time score and the ground-truth access label.
+        assert_eq!(
+            samples,
+            vec![
+                ResolvedSample {
+                    score: 0.8,
+                    label: true
+                },
+                ResolvedSample {
+                    score: 0.2,
+                    label: false
+                },
+                ResolvedSample {
+                    score: 0.7,
+                    label: true
+                },
+            ]
+        );
+        assert_eq!(t.samples_len(), 0);
+        assert!(t.drain_samples().is_empty());
+        assert!(t.check_conservation().is_ok());
     }
 
     #[test]

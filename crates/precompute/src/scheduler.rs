@@ -57,6 +57,18 @@ impl BudgetConfig {
     }
 }
 
+/// In what order a wave of prefetch candidates is offered to the bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdmissionOrder {
+    /// Candidates are admitted in arrival order — the first over-budget
+    /// candidate and everything after it is denied regardless of score.
+    Fifo,
+    /// Candidates are admitted highest-probability-first: when the bucket
+    /// cannot afford the whole wave, the budget goes to the prefetches most
+    /// likely to become hits instead of whichever arrived first.
+    Priority,
+}
+
 /// Why an admission attempt succeeded or failed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum AdmitResult {
@@ -105,6 +117,8 @@ pub struct PrefetchScheduler {
     tokens: f64,
     /// Timestamp of the last refill; monotone (stale clocks refill nothing).
     refilled_at: Option<i64>,
+    /// Clock ticks per second of traffic time (1.0 = a seconds clock).
+    ticks_per_sec: f64,
     inflight: usize,
     stats: SchedulerBudgetStats,
 }
@@ -134,6 +148,7 @@ impl PrefetchScheduler {
             config,
             tokens: config.capacity_units,
             refilled_at: None,
+            ticks_per_sec: 1.0,
             inflight: 0,
             stats: SchedulerBudgetStats {
                 units_offered: config.capacity_units,
@@ -142,9 +157,36 @@ impl PrefetchScheduler {
         }
     }
 
+    /// Creates a scheduler whose `now` timestamps tick `ticks_per_sec`
+    /// times per second of traffic time (e.g. `1_000.0` for a milliseconds
+    /// clock). Refill is computed from the *fractional* elapsed seconds
+    /// `(now − last) / ticks_per_sec`, so N small ticks refill exactly as
+    /// much as one big tick — a caller quantizing a fine-grained clock down
+    /// to whole seconds would instead silently drop every sub-second
+    /// remainder and starve a low-rate bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the [`PrefetchScheduler::new`] conditions, or when
+    /// `ticks_per_sec` is not positive and finite.
+    pub fn with_clock(config: BudgetConfig, ticks_per_sec: f64) -> Self {
+        assert!(
+            ticks_per_sec > 0.0 && ticks_per_sec.is_finite(),
+            "ticks_per_sec must be positive and finite"
+        );
+        let mut scheduler = Self::new(config);
+        scheduler.ticks_per_sec = ticks_per_sec;
+        scheduler
+    }
+
     /// The budget configuration.
     pub fn config(&self) -> BudgetConfig {
         self.config
+    }
+
+    /// Clock ticks per second of traffic time (1.0 = a seconds clock).
+    pub fn ticks_per_sec(&self) -> f64 {
+        self.ticks_per_sec
     }
 
     /// Tokens currently in the bucket.
@@ -163,15 +205,18 @@ impl PrefetchScheduler {
     }
 
     fn refill(&mut self, now: i64) {
-        let since = match self.refilled_at {
+        // Fractional elapsed-seconds conversion: a sub-second tick (under a
+        // fine-grained clock) still refills its exact share, instead of the
+        // whole-unit truncation that starves a low-rate bucket.
+        let since_secs = match self.refilled_at {
             None => {
                 self.refilled_at = Some(now);
                 return;
             }
             Some(at) if now <= at => return,
-            Some(at) => (now - at) as f64,
+            Some(at) => (now - at) as f64 / self.ticks_per_sec,
         };
-        let added = (since * self.config.refill_units_per_sec)
+        let added = (since_secs * self.config.refill_units_per_sec)
             .min(self.config.capacity_units - self.tokens);
         self.tokens += added;
         self.stats.units_offered += added;
@@ -199,6 +244,38 @@ impl PrefetchScheduler {
         self.stats.units_spent += self.config.cost_per_prefetch_units;
         self.stats.max_inflight_seen = self.stats.max_inflight_seen.max(self.inflight);
         AdmitResult::Admitted
+    }
+
+    /// Admits one wave of prefetch candidates at traffic time `now`,
+    /// returning one [`AdmitResult`] per candidate *in input order*.
+    ///
+    /// The bucket refills once for the whole wave, then candidates are
+    /// offered in the given [`AdmissionOrder`]: FIFO spends the budget on
+    /// whichever candidates come first; `Priority` sorts the wave by
+    /// predicted probability (descending, ties kept in arrival order) so a
+    /// low bucket goes to the prefetches most likely to become hits. With
+    /// enough budget and inflight room for the whole wave the two orders
+    /// admit identically.
+    pub fn admit_wave(
+        &mut self,
+        now: i64,
+        probabilities: &[f64],
+        order: AdmissionOrder,
+    ) -> Vec<AdmitResult> {
+        let mut indices: Vec<usize> = (0..probabilities.len()).collect();
+        if order == AdmissionOrder::Priority {
+            // Stable sort: equal probabilities keep FIFO order.
+            indices.sort_by(|&a, &b| {
+                probabilities[b]
+                    .partial_cmp(&probabilities[a])
+                    .expect("probabilities must not be NaN")
+            });
+        }
+        let mut results = vec![AdmitResult::DeniedBudget; probabilities.len()];
+        for index in indices {
+            results[index] = self.try_admit(now);
+        }
+        results
     }
 
     /// Releases one inflight slot (an admitted prefetch resolved).
@@ -314,6 +391,150 @@ mod tests {
         assert!((budget.capacity_units - 8.0 * cost).abs() < 1e-9);
         assert!((budget.refill_units_per_sec - 2.0 * cost).abs() < 1e-9);
         assert!((budget.cost_per_prefetch_units - cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fractional_clock_refills_sub_second_ticks() {
+        // A fine-grained clock with a slow bucket: 2 units/s means one
+        // 25-unit prefetch every 12.5 s. Under whole-second truncation a
+        // sub-second tick would refill 0 units forever (starvation);
+        // fractional conversion credits each tick its exact share.
+        let config = BudgetConfig {
+            capacity_units: 100.0,
+            refill_units_per_sec: 2.0,
+            cost_per_prefetch_units: 25.0,
+            max_inflight: 16,
+        };
+        // 8 ticks/s keeps every refill increment (2.0 / 8 = 0.25 units)
+        // exactly representable, so the equality edge below is not at the
+        // mercy of float accumulation.
+        let mut s = PrefetchScheduler::with_clock(config, 8.0);
+        assert_eq!(s.ticks_per_sec(), 8.0);
+        // Drain the initial bucket (4 × 25 units).
+        for _ in 0..4 {
+            assert_eq!(s.try_admit(0), AdmitResult::Admitted);
+            s.complete_one();
+        }
+        assert_eq!(s.try_admit(0), AdmitResult::DeniedBudget);
+        // 99 single-tick refills: 24.75 units — one tick short of a prefetch.
+        let mut now = 0i64;
+        for _ in 0..99 {
+            now += 1;
+            s.refill(now);
+        }
+        assert!((s.tokens() - 24.75).abs() < 1e-12, "tokens {}", s.tokens());
+        assert_eq!(s.try_admit(now), AdmitResult::DeniedBudget);
+        // The 100th tick (12.5 s total) crosses the cost line exactly.
+        assert_eq!(s.try_admit(now + 1), AdmitResult::Admitted);
+        assert!(s.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn n_small_ticks_refill_exactly_as_much_as_one_big_tick() {
+        let config = BudgetConfig {
+            capacity_units: 1_000.0,
+            // 240 s of refill (888 units) fits inside one prefetch's
+            // headroom, so the capacity cap never masks a refill mismatch.
+            refill_units_per_sec: 3.7,
+            cost_per_prefetch_units: 900.0,
+            max_inflight: 8,
+        };
+        for ticks_per_sec in [1.0, 10.0, 1_000.0] {
+            // Spend one prefetch so there is headroom to refill into.
+            let mut fine = PrefetchScheduler::with_clock(config, ticks_per_sec);
+            let mut coarse = PrefetchScheduler::with_clock(config, ticks_per_sec);
+            assert_eq!(fine.try_admit(0), AdmitResult::Admitted);
+            assert_eq!(coarse.try_admit(0), AdmitResult::Admitted);
+            // 240 ticks as 240 × 1 vs 1 × 240.
+            for tick in 1..=240i64 {
+                fine.refill(tick);
+            }
+            coarse.refill(240);
+            assert!(
+                (fine.tokens() - coarse.tokens()).abs() < 1e-6,
+                "clock {ticks_per_sec}: {} vs {}",
+                fine.tokens(),
+                coarse.tokens()
+            );
+            assert!(fine.check_invariants().is_ok());
+            assert!(coarse.check_invariants().is_ok());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ticks_per_sec must be positive")]
+    fn zero_clock_scale_panics() {
+        let _ = PrefetchScheduler::with_clock(config(), 0.0);
+    }
+
+    #[test]
+    fn priority_admission_spends_a_low_bucket_on_the_best_candidates() {
+        // Bucket affords exactly 2 of 5 candidates.
+        let tight = BudgetConfig {
+            capacity_units: 50.0,
+            refill_units_per_sec: 0.0,
+            cost_per_prefetch_units: 25.0,
+            max_inflight: 16,
+        };
+        let probs = [0.3, 0.9, 0.1, 0.8, 0.7];
+
+        let mut fifo = PrefetchScheduler::new(tight);
+        let fifo_results = fifo.admit_wave(0, &probs, AdmissionOrder::Fifo);
+        assert_eq!(
+            fifo_results,
+            vec![
+                AdmitResult::Admitted, // 0.3 arrived first
+                AdmitResult::Admitted, // 0.9
+                AdmitResult::DeniedBudget,
+                AdmitResult::DeniedBudget,
+                AdmitResult::DeniedBudget,
+            ]
+        );
+
+        let mut priority = PrefetchScheduler::new(tight);
+        let priority_results = priority.admit_wave(0, &probs, AdmissionOrder::Priority);
+        assert_eq!(
+            priority_results,
+            vec![
+                AdmitResult::DeniedBudget,
+                AdmitResult::Admitted, // 0.9: best
+                AdmitResult::DeniedBudget,
+                AdmitResult::Admitted, // 0.8: second best
+                AdmitResult::DeniedBudget,
+            ]
+        );
+        assert!(fifo.check_invariants().is_ok());
+        assert!(priority.check_invariants().is_ok());
+        assert_eq!(fifo.stats().admitted, priority.stats().admitted);
+    }
+
+    #[test]
+    fn admission_orders_agree_when_the_budget_is_ample() {
+        let probs = [0.9, 0.2, 0.5, 0.7];
+        let mut fifo = PrefetchScheduler::new(config());
+        let mut priority = PrefetchScheduler::new(config());
+        assert_eq!(
+            fifo.admit_wave(0, &probs[..3], AdmissionOrder::Fifo),
+            priority.admit_wave(0, &probs[..3], AdmissionOrder::Priority),
+        );
+        // Inflight-cap denials also land on the *lowest*-probability
+        // candidates under priority admission.
+        let mut s = PrefetchScheduler::new(BudgetConfig {
+            capacity_units: 1_000.0,
+            refill_units_per_sec: 0.0,
+            cost_per_prefetch_units: 1.0,
+            max_inflight: 2,
+        });
+        let results = s.admit_wave(0, &probs, AdmissionOrder::Priority);
+        assert_eq!(
+            results,
+            vec![
+                AdmitResult::Admitted,       // 0.9
+                AdmitResult::DeniedInflight, // 0.2
+                AdmitResult::DeniedInflight, // 0.5
+                AdmitResult::Admitted,       // 0.7
+            ]
+        );
     }
 
     #[test]

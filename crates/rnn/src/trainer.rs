@@ -72,6 +72,21 @@ impl Default for TrainerConfig {
     }
 }
 
+impl TrainerConfig {
+    /// A preset for training a model *inside* a running simulation or
+    /// benchmark on a seeded warmup split: a couple of epochs over small
+    /// parallel minibatches — enough for informative scores in seconds, not
+    /// a paper-scale fit. Deterministic for a given `seed`.
+    pub fn warmup(seed: u64) -> Self {
+        Self {
+            epochs: 2,
+            minibatch_users: 8,
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
 /// One point of the training-loss curve (Figure 4).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LossTracePoint {
@@ -606,6 +621,15 @@ mod tests {
         let scored = trainer.evaluate(&model, &ds, &idx, Some(5));
         // One prediction per user per evaluated day.
         assert_eq!(scored.len(), 12 * 5);
+    }
+
+    #[test]
+    fn warmup_preset_is_small_and_seeded() {
+        let c = TrainerConfig::warmup(9);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.epochs, 2);
+        assert_eq!(c.minibatch_users, 8);
+        assert!(c.parallel);
     }
 
     #[test]

@@ -805,6 +805,66 @@ mod tests {
     }
 
     #[test]
+    fn flush_due_flushes_exactly_at_the_deadline_tick() {
+        let m = model();
+        let store = ShardedStateStore::new(2);
+        // A request submitted at t with max_wait w has deadline t + w and
+        // must flush when now == t + w — not one tick later.
+        let mut scheduler = BatchScheduler::with_max_wait(&m, &store, 8, 25);
+        scheduler.submit_at(request(1, 1), 1_000);
+        assert!(scheduler.flush_due(1_024).is_empty());
+        assert_eq!(
+            scheduler.flush_due(1_025).len(),
+            1,
+            "now == deadline must flush"
+        );
+        assert_eq!(scheduler.pending(), 0);
+        // max_wait = 0: due on the very tick it was submitted.
+        let mut immediate = BatchScheduler::with_max_wait(&m, &store, 8, 0);
+        immediate.submit_at(request(2, 2), 500);
+        assert_eq!(immediate.flush_due(500).len(), 1);
+    }
+
+    #[test]
+    fn flushed_partial_batches_preserve_submission_order() {
+        let m = model();
+        let store = ShardedStateStore::new(2);
+        let mut scheduler = BatchScheduler::with_max_wait(&m, &store, 4, 10);
+        // Six requests with deliberately non-monotone submission stamps:
+        // one full batch plus a deadline-triggered partial remainder.
+        let ids = [30u64, 10, 20, 5, 40, 15];
+        let stamps = [300i64, 100, 200, 50, 400, 150];
+        for (&id, &stamp) in ids.iter().zip(&stamps) {
+            scheduler.submit_at(request(id, id as i64), stamp);
+        }
+        // The partial remainder (stamps 400, 150) has oldest stamp 150,
+        // so its deadline 160 has passed at now = 170 and everything is
+        // due. Results must come back in *submission* order, not stamp
+        // order.
+        let served = scheduler.flush_due(170);
+        assert_eq!(served.len(), 6);
+        let served_ids: Vec<u64> = served.iter().map(|p| p.user_id.0).collect();
+        assert_eq!(served_ids, ids.to_vec());
+        // Same property when only the full batch is due: the first four in
+        // submission order go out, the rest stay queued in order.
+        let mut partial = BatchScheduler::with_max_wait(&m, &store, 4, 1_000);
+        for (&id, &stamp) in ids.iter().zip(&stamps) {
+            partial.submit_at(request(id, id as i64), stamp);
+        }
+        let first = partial.flush_due(500);
+        assert_eq!(
+            first.iter().map(|p| p.user_id.0).collect::<Vec<_>>(),
+            ids[..4].to_vec()
+        );
+        assert_eq!(partial.pending(), 2);
+        let rest = partial.flush_due(2_000);
+        assert_eq!(
+            rest.iter().map(|p| p.user_id.0).collect::<Vec<_>>(),
+            ids[4..].to_vec()
+        );
+    }
+
+    #[test]
     fn deadline_flush_matches_single_request_path() {
         let m = model();
         let store = ShardedStateStore::new(2);
