@@ -29,7 +29,17 @@
 //! deliberately tight budget on the burstified variant (successful-prefetch
 //! lift).
 //!
-//! Usage: `precompute_sim [--scenario cold_start|bursty|diurnal|learned_loop|all]`
+//! The **mixed_traffic** scenario covers the paper's production setting of
+//! several activities sharing one resource pool: MobileTab + Timeshift +
+//! MPU traffic interleaved on a common clock and replayed under one tight
+//! shared budget, with per-activity cost profiles, per-activity adaptive
+//! thresholds, and a pluggable fairness policy (greedy / guaranteed-share
+//! floors / deficit-weighted round-robin) — reported with per-activity
+//! precision/recall/spend, a Jain fairness index, and compared against
+//! static per-activity splits of the same budget.
+//!
+//! Usage:
+//! `precompute_sim [--scenario cold_start|bursty|diurnal|learned_loop|mixed_traffic|all]`
 //! (default `all`).
 //!
 //! Environment knobs (defaults in parentheses): `PP_USERS` (400), `PP_DAYS`
@@ -37,27 +47,32 @@
 //! (0.5), `PP_WINDOW` (100), `PP_GAIN` (1.0), `PP_MAX_WAVE` (256),
 //! `PP_TRAIN_USERS` (96), `PP_TRAIN_EPOCHS` (4), `PP_HIDDEN` (64),
 //! `PP_WARM_FRACTION` (0.3), `PP_PRIORITY_BURST` (16), `PP_PRIORITY_SUSTAIN`
-//! (15% of the burstified event rate), `PP_OUT`
+//! (15% of the burstified event rate), `PP_MIXED_BURST` (24),
+//! `PP_MIXED_SUSTAIN` (0.12), `PP_OUT`
 //! (`BENCH_precompute.json`), `PP_REQUIRE_PRECISION` (unset → report only;
 //! set e.g. `0.05` to exit non-zero when any oracle scenario's steady-state
 //! precision misses the target by more than that), `PP_REQUIRE_LEARNED_PRECISION`
 //! (unset → report only; set e.g. `0.10` to exit non-zero when the learned
 //! run's steady-state precision misses the target by more than that, or
 //! when priority admission yields fewer successful prefetches than FIFO at
-//! equal budget).
+//! equal budget), `PP_REQUIRE_FAIRNESS` (unset → report only; set to exit
+//! non-zero when an activity starves under the guaranteed-share policy or
+//! the shared bucket loses to the best static split). Every report field is
+//! documented in `docs/benchmarks.md`.
 //!
 //! Hard invariants are asserted on every run regardless of knobs: outcome
-//! accounting exactly balances decisions (conservation) and the budget is
-//! never overdrawn.
+//! accounting exactly balances decisions (conservation), the budget is
+//! never overdrawn, and per-activity spends sum to the total bucket drain.
 
 use pp_bench::{env_or, section, Scale};
 use pp_core::PrecomputePolicy;
 use pp_data::schema::{Context, Dataset, DatasetKind, Tab, UserId};
-use pp_data::synth::{MobileTabGenerator, SyntheticGenerator};
+use pp_data::synth::{MobileTabGenerator, MpuGenerator, SyntheticGenerator, TimeshiftGenerator};
 use pp_metrics::pr::{pr_auc, recall_at_precision};
 use pp_precompute::{
-    prefetch_cost_units, AdmissionOrder, BudgetConfig, CacheConfig, ControllerConfig,
-    DecisionEngine, OutcomeCounts, PrecomputeSystem, SystemConfig,
+    jain_index, prefetch_cost_units, Activity, ActivityMap, AdmissionOrder, BudgetConfig,
+    CacheConfig, ControllerConfig, DecisionEngine, FairnessPolicy, MultiActivityConfig,
+    OutcomeCounts, PrecomputeSystem, SystemConfig,
 };
 use pp_rnn::{scores_and_labels, RnnModel, RnnModelConfig, RnnTrainer, TaskKind, TrainerConfig};
 use pp_serving::{
@@ -77,6 +92,7 @@ struct Event {
     user: UserId,
     context: Context,
     accessed: bool,
+    activity: Activity,
 }
 
 #[derive(Debug, Clone, Copy, Serialize)]
@@ -220,6 +236,95 @@ struct LearnedLoopReport {
     learned_within_tolerance: bool,
 }
 
+/// One activity's slice of a mixed-traffic run.
+#[derive(Debug, Clone, Serialize)]
+struct MixedActivityResult {
+    activity: String,
+    events: usize,
+    accesses: usize,
+    /// This activity's fraction of all accesses in the stream — the demand
+    /// share its fairness floors and gates are derived from.
+    demand_share: f64,
+    cost_per_prefetch_units: f64,
+    scored: u64,
+    prefetches_executed: u64,
+    denied_budget: u64,
+    denied_inflight: u64,
+    units_spent: f64,
+    /// Fraction of the total bucket drain this activity took.
+    spend_share: f64,
+    outcomes: OutcomeCounts,
+    precision: Option<f64>,
+    recall: Option<f64>,
+    waste_ratio: Option<f64>,
+    hits: u64,
+    /// Fraction of all successful prefetches this activity earned.
+    hit_share: f64,
+    threshold_final: f64,
+    controller_windows: u64,
+    recalibrations: u64,
+    /// The starvation gate: the activity's hit share must stay at or above
+    /// a quarter of its demand share under the guaranteed-share policy.
+    gate_floor_hit_share: f64,
+    starved: bool,
+}
+
+/// One fairness policy's run over the interleaved stream.
+#[derive(Debug, Clone, Serialize)]
+struct MixedPolicyResult {
+    policy: String,
+    total_hits: u64,
+    total_prefetches: u64,
+    total_units_spent: f64,
+    budget_utilization: f64,
+    /// Jain's fairness index over the three activities' recalls: 1.0 means
+    /// the shared budget served every activity's demand equally well.
+    fairness_index_recall: f64,
+    no_activity_starved: bool,
+    per_activity: Vec<MixedActivityResult>,
+}
+
+/// One static per-activity partition of the same total budget — the
+/// baseline the shared bucket must beat.
+#[derive(Debug, Clone, Serialize)]
+struct StaticSplitResult {
+    name: String,
+    /// Budget share per activity, in `Activity::ALL` order.
+    shares: Vec<f64>,
+    per_activity_hits: Vec<u64>,
+    total_hits: u64,
+}
+
+/// The mixed_traffic scenario report: interleaved MobileTab + Timeshift +
+/// MPU traffic under one tight shared budget, across fairness policies,
+/// against the best static per-activity split of the same budget.
+#[derive(Debug, Clone, Serialize)]
+struct MixedTrafficReport {
+    events: usize,
+    burst_prefetches: f64,
+    /// Sustained refill as a fraction of the mean-cost event rate.
+    sustained_fraction: f64,
+    total_capacity_units: f64,
+    total_refill_units_per_sec: f64,
+    /// Per-activity prefetch cost (units), in `Activity::ALL` order.
+    costs: Vec<f64>,
+    /// Guaranteed-share floors (fractions of the bucket), same order.
+    floors: Vec<f64>,
+    /// Deficit-round-robin weights (demand shares), same order.
+    drr_weights: Vec<f64>,
+    policies: Vec<MixedPolicyResult>,
+    static_splits: Vec<StaticSplitResult>,
+    best_static_name: String,
+    best_static_hits: u64,
+    shared_hits_guaranteed_share: u64,
+    /// Gate: the guaranteed-share shared bucket matches or beats the best
+    /// static partition of the same budget.
+    shared_beats_best_static: bool,
+    /// Gate: no activity's hit share fell below its floor under the
+    /// guaranteed-share policy.
+    guaranteed_share_no_starvation: bool,
+}
+
 #[derive(Debug, Clone, Serialize)]
 struct SimReport {
     benchmark: String,
@@ -227,18 +332,16 @@ struct SimReport {
     scenarios: Vec<ScenarioResult>,
     engine_smoke: Option<EngineSmoke>,
     learned_loop: Option<LearnedLoopReport>,
+    mixed_traffic: Option<MixedTrafficReport>,
 }
 
 /// Seeded noisy oracle: a logistic-noise score centered above the
 /// threshold band for accessed sessions and below it otherwise. The score
 /// is informative but imperfect, so precision genuinely depends on the
-/// threshold the controller picks.
+/// threshold the controller picks. [`oracle_score_scaled`] at the
+/// single-activity scenarios' noise scale.
 fn oracle_score(rng: &mut StdRng, accessed: bool) -> f64 {
-    let mu = if accessed { 0.9 } else { -0.9 };
-    // Logistic noise via inverse-CDF of a uniform draw.
-    let u: f64 = rng.gen_range(1e-9..1.0 - 1e-9);
-    let noise = (u / (1.0 - u)).ln();
-    1.0 / (1.0 + (-(mu + 0.9 * noise)).exp())
+    oracle_score_scaled(rng, accessed, 0.9)
 }
 
 fn build_dataset(users: usize, days: u32, seed: u64) -> Dataset {
@@ -260,9 +363,34 @@ fn events_of_users(dataset: &Dataset, user_indices: &[usize]) -> Vec<Event> {
                 user: user.user_id,
                 context: s.context,
                 accessed: s.accessed,
+                activity: Activity::from(dataset.kind),
             })
         })
         .collect();
+    events.sort_by_key(|e| (e.timestamp, e.user.0));
+    events
+}
+
+/// Interleaves several activities' datasets into one stream on a common
+/// clock: every dataset is rebased to start at t = 0 (the generators use
+/// different, midnight-aligned epochs) and user ids are namespaced per
+/// activity so MobileTab user 0 and Timeshift user 0 stay distinct.
+fn mixed_events(datasets: &[Dataset]) -> Vec<Event> {
+    let mut events = Vec::new();
+    for (i, dataset) in datasets.iter().enumerate() {
+        let offset = (i as u64 + 1) << 40;
+        for user in &dataset.users {
+            for s in &user.sessions {
+                events.push(Event {
+                    timestamp: s.timestamp - dataset.start_timestamp,
+                    user: UserId(user.user_id.0 + offset),
+                    context: s.context,
+                    accessed: s.accessed,
+                    activity: Activity::from(dataset.kind),
+                });
+            }
+        }
+    }
     events.sort_by_key(|e| (e.timestamp, e.user.0));
     events
 }
@@ -700,6 +828,421 @@ fn run_learned_loop(dataset: &Dataset, sim: &SimConfig, tolerance: f64) -> Learn
     }
 }
 
+/// Per-activity logistic-noise scale for the mixed-traffic oracle: the
+/// three activities' scores are deliberately *not* equally informative
+/// (Timeshift scores are noisier than MPU's), so each activity's controller
+/// must find its own threshold to hold the common precision target.
+fn mixed_noise_scales() -> ActivityMap<f64> {
+    ActivityMap::from_fn(|a| match a {
+        Activity::MobileTab => 0.9,
+        Activity::Timeshift => 1.1,
+        Activity::Mpu => 0.7,
+    })
+}
+
+/// Seeded noisy oracle with a configurable noise scale: a logistic-noise
+/// score centered above the threshold band for accessed sessions and below
+/// it otherwise (the single noise-model implementation — [`oracle_score`]
+/// fixes the scale at the single-activity scenarios' 0.9).
+fn oracle_score_scaled(rng: &mut StdRng, accessed: bool, noise_scale: f64) -> f64 {
+    let mu = if accessed { 0.9 } else { -0.9 };
+    // Logistic noise via inverse-CDF of a uniform draw.
+    let u: f64 = rng.gen_range(1e-9..1.0 - 1e-9);
+    let noise = (u / (1.0 - u)).ln();
+    1.0 / (1.0 + (-(mu + noise_scale * noise)).exp())
+}
+
+/// Replays an activity-tagged event stream through a [`PrecomputeSystem`]
+/// via [`PrecomputeSystem::handle_wave`], scoring each event with its
+/// activity's seeded oracle. The wave-cutting rule matches [`replay`].
+fn replay_tagged(
+    name: &str,
+    events: &[Event],
+    max_wave: usize,
+    mut system: PrecomputeSystem,
+    rngs: &mut ActivityMap<StdRng>,
+) -> PrecomputeSystem {
+    let noise = mixed_noise_scales();
+    let mut i = 0usize;
+    while i < events.len() {
+        let bucket = events[i].timestamp / 60;
+        let mut wave: Vec<Event> = Vec::new();
+        let mut users = std::collections::HashSet::new();
+        while i < events.len()
+            && events[i].timestamp / 60 == bucket
+            && wave.len() < max_wave
+            && users.insert(events[i].user.0)
+        {
+            wave.push(events[i]);
+            i += 1;
+        }
+        let now = bucket * 60;
+        let tagged: Vec<(Activity, Prediction)> = wave
+            .iter()
+            .map(|e| {
+                (
+                    e.activity,
+                    Prediction {
+                        user_id: e.user,
+                        probability: oracle_score_scaled(
+                            &mut rngs[e.activity],
+                            e.accessed,
+                            noise[e.activity],
+                        ),
+                    },
+                )
+            })
+            .collect();
+        system.handle_wave(&tagged, now);
+        for event in &wave {
+            let dwell = if event.accessed { 10 } else { 45 };
+            system
+                .resolve_session(event.user, now + dwell, event.accessed)
+                .expect("every wave entry has a pending decision");
+        }
+    }
+    system
+        .check_invariants()
+        .unwrap_or_else(|violation| panic!("{name}: invariant violated: {violation}"));
+    system
+}
+
+/// Fresh per-activity oracle RNGs for one mixed run (each run replays the
+/// identical score stream).
+fn mixed_rngs(seed: u64) -> ActivityMap<StdRng> {
+    ActivityMap::from_fn(|a| StdRng::seed_from_u64(seed ^ (0x5c0_7e5 + 7919 * a.index() as u64)))
+}
+
+/// The mixed_traffic scenario: interleaved MobileTab + Timeshift + MPU
+/// traffic replayed under one tight shared budget, under each fairness
+/// policy, with per-activity precision/recall/spend accounting, a Jain
+/// fairness index, and a static per-activity budget split as the baseline
+/// the shared bucket must beat.
+fn run_mixed_traffic(scale: &Scale, sim: &SimConfig) -> MixedTrafficReport {
+    // Three activities, three generators, one common clock.
+    let mut mt_config = scale.mobiletab();
+    mt_config.seed = scale.seed;
+    let mut ts_config = scale.timeshift();
+    ts_config.seed = scale.seed ^ 0x7e5;
+    let mut mpu_config = scale.mpu();
+    mpu_config.seed = scale.seed ^ 0x3a7;
+    let datasets = [
+        MobileTabGenerator::new(mt_config).generate(),
+        TimeshiftGenerator::new(ts_config).generate(),
+        MpuGenerator::new(mpu_config).generate(),
+    ];
+    let events = mixed_events(&datasets);
+    assert!(!events.is_empty(), "no mixed traffic — increase PP_USERS");
+    let span_secs = (events.last().unwrap().timestamp - events[0].timestamp).max(1) as f64;
+    let events_per_sec = events.len() as f64 / span_secs;
+
+    // Per-activity cost profiles: each activity serves its own model (the
+    // §9 launch activity runs the paper-size GRU, the others smaller ones),
+    // so a prefetch costs genuinely different unit amounts per activity.
+    let weights = CostWeights::default();
+    let cost_of = |kind: DatasetKind, task: TaskKind, hidden: usize| {
+        let model = RnnModel::new(
+            kind,
+            task,
+            RnnModelConfig {
+                hidden_dim: hidden,
+                mlp_width: hidden,
+                ..RnnModelConfig::default()
+            },
+            scale.seed,
+        );
+        prefetch_cost_units(&rnn_profile(&model), &weights)
+    };
+    let costs = ActivityMap::from_fn(|a| match a {
+        Activity::MobileTab => cost_of(DatasetKind::MobileTab, TaskKind::PerSession, 128),
+        Activity::Timeshift => cost_of(DatasetKind::Timeshift, TaskKind::Timeshifted, 64),
+        Activity::Mpu => cost_of(DatasetKind::Mpu, TaskKind::PerSession, 16),
+    });
+
+    // Demand shares (by accesses) drive the floors, weights and gates.
+    let mut events_by_activity = ActivityMap::uniform(0usize);
+    let mut accesses_by_activity = ActivityMap::uniform(0usize);
+    for e in &events {
+        events_by_activity[e.activity] += 1;
+        accesses_by_activity[e.activity] += usize::from(e.accessed);
+    }
+    let total_accesses: usize = accesses_by_activity.values().sum();
+    assert!(total_accesses > 0, "no accesses in the mixed stream");
+    let demand_share = accesses_by_activity.map(|_, &n| n as f64 / total_accesses as f64);
+
+    // One tight shared budget, denominated against the demand-weighted mean
+    // cost: sustained refill covers only a fraction of the event rate, so
+    // the fairness policy decides who gets served.
+    let mean_cost: f64 = costs
+        .iter()
+        .map(|(a, &c)| c * events_by_activity[a] as f64 / events.len() as f64)
+        .sum();
+    let burst_prefetches: f64 = env_or("PP_MIXED_BURST", 24.0);
+    let sustained_fraction: f64 = env_or("PP_MIXED_SUSTAIN", 0.12);
+    let capacity_units = burst_prefetches * mean_cost;
+    let refill_units_per_sec = sustained_fraction * events_per_sec * mean_cost;
+    let max_cost = costs.values().fold(0.0f64, |m, &c| m.max(c));
+    let shared_budget = BudgetConfig {
+        capacity_units,
+        refill_units_per_sec,
+        cost_per_prefetch_units: max_cost,
+        max_inflight: sim.max_inflight,
+    };
+    let base_config = SystemConfig {
+        initial_threshold: sim.initial_threshold,
+        budget: shared_budget,
+        cache: CacheConfig {
+            shards: 8,
+            capacity_per_shard: 4_096,
+            ttl_secs: sim.cache_ttl_secs,
+        },
+        controller: ControllerConfig {
+            target_precision: sim.target_precision,
+            window: sim.controller_window,
+            gain: sim.controller_gain,
+            min_threshold: 0.01,
+            max_threshold: 0.99,
+        },
+        admission: AdmissionOrder::Priority,
+        recalibrate_from_outcomes: true,
+        payload_bytes: 512,
+    };
+
+    // Half the bucket is floored, half stays a contested common pool. The
+    // floors blend demand-proportional with equal shares: pure
+    // demand-proportional floors leave a small activity's reserve too thin
+    // to matter against an aggressor, while pure equal floors lock so much
+    // budget onto low-demand activities that total hits fall below a
+    // static split. The 50/50 blend protects the minorities without
+    // forfeiting the multiplexing win.
+    let floors = demand_share.map(|_, &s| 0.5 * (0.5 * s + 0.5 / 3.0));
+    let drr_weights = demand_share.map(|_, &s| s.max(1e-3));
+    println!(
+        "  {} events over {:.1} days ({:.2}/s); costs {:.0}/{:.0}/{:.0} units; shared budget {:.0} units burst + {:.1} units/s ({}% of the event rate)",
+        events.len(),
+        span_secs / 86_400.0,
+        events_per_sec,
+        costs[Activity::MobileTab],
+        costs[Activity::Timeshift],
+        costs[Activity::Mpu],
+        capacity_units,
+        refill_units_per_sec,
+        (sustained_fraction * 100.0) as u32,
+    );
+
+    // Static baselines FIRST: partition the same total budget into three
+    // independent per-activity buckets and replay each activity alone. The
+    // shared bucket's statistical multiplexing (an idle activity's refill
+    // serves a busy one) is exactly what the static split gives up — and
+    // each activity's *dedicated-budget* hit share is the yardstick the
+    // starvation gate measures the shared runs against (an activity with
+    // inherently noisy scores earns a low hit share even with its own
+    // bucket; that is not starvation).
+    let per_activity_events: ActivityMap<Vec<Event>> =
+        ActivityMap::from_fn(|a| events.iter().filter(|e| e.activity == a).copied().collect());
+    let units_demand = demand_share.map(|a, &s| s * costs[a]);
+    let units_total: f64 = units_demand.values().sum();
+    let split_candidates: Vec<(&str, ActivityMap<f64>)> = vec![
+        ("equal", ActivityMap::uniform(1.0 / 3.0)),
+        ("demand_proportional", demand_share),
+        (
+            "cost_weighted_demand",
+            units_demand.map(|_, &u| u / units_total),
+        ),
+    ];
+    let static_splits: Vec<StaticSplitResult> = split_candidates
+        .into_iter()
+        .map(|(name, shares)| {
+            let per_activity_hits: Vec<u64> = Activity::ALL
+                .iter()
+                .map(|&a| {
+                    // A slice too small to hold even two prefetches would
+                    // assert in the scheduler; clamping documents that the
+                    // static split cannot go below one burst's worth.
+                    let capacity = (shares[a] * capacity_units).max(2.0 * costs[a]);
+                    let config = SystemConfig {
+                        budget: BudgetConfig {
+                            capacity_units: capacity,
+                            refill_units_per_sec: shares[a] * refill_units_per_sec,
+                            cost_per_prefetch_units: costs[a],
+                            max_inflight: sim.max_inflight,
+                        },
+                        ..base_config
+                    };
+                    let mut rngs = mixed_rngs(sim.seed);
+                    let system = replay_tagged(
+                        &format!("mixed_traffic/static_{name}/{a}"),
+                        &per_activity_events[a],
+                        sim.max_wave,
+                        PrecomputeSystem::new(config),
+                        &mut rngs,
+                    );
+                    system.report().outcomes.hits
+                })
+                .collect();
+            let result = StaticSplitResult {
+                name: name.to_string(),
+                shares: Activity::ALL.iter().map(|&a| shares[a]).collect(),
+                total_hits: per_activity_hits.iter().sum(),
+                per_activity_hits,
+            };
+            println!(
+                "  static split {:<22} {:>5} hits (per-activity {:?})",
+                result.name, result.total_hits, result.per_activity_hits
+            );
+            result
+        })
+        .collect();
+    let best_static = static_splits
+        .iter()
+        .max_by_key(|s| s.total_hits)
+        .expect("at least one static split")
+        .clone();
+    // Starvation gate floors: a quarter of the hit share each activity
+    // earns in the best static split, i.e. with a dedicated budget and
+    // nobody to compete with.
+    let gate_floors = ActivityMap::from_fn(|a| {
+        if best_static.total_hits == 0 {
+            0.0
+        } else {
+            0.25 * best_static.per_activity_hits[a.index()] as f64 / best_static.total_hits as f64
+        }
+    });
+
+    let run_policy = |fairness: FairnessPolicy| -> MixedPolicyResult {
+        let system = PrecomputeSystem::new_multi(
+            base_config,
+            MultiActivityConfig {
+                costs,
+                initial_thresholds: ActivityMap::uniform(sim.initial_threshold),
+                fairness,
+            },
+        );
+        let mut rngs = mixed_rngs(sim.seed);
+        let system = replay_tagged(
+            &format!("mixed_traffic/{}", fairness.name()),
+            &events,
+            sim.max_wave,
+            system,
+            &mut rngs,
+        );
+        let total = system.report();
+        let total_hits = total.outcomes.hits;
+        let per_activity: Vec<MixedActivityResult> = Activity::ALL
+            .iter()
+            .map(|&a| {
+                let slice = system.activity_report(a);
+                let hit_share = if total_hits > 0 {
+                    slice.outcomes.hits as f64 / total_hits as f64
+                } else {
+                    0.0
+                };
+                let gate_floor = gate_floors[a];
+                MixedActivityResult {
+                    activity: a.to_string(),
+                    events: events_by_activity[a],
+                    accesses: accesses_by_activity[a],
+                    demand_share: demand_share[a],
+                    cost_per_prefetch_units: costs[a],
+                    scored: slice.decisions.scored,
+                    prefetches_executed: slice.budget.admitted,
+                    denied_budget: slice.budget.denied_budget,
+                    denied_inflight: slice.budget.denied_inflight,
+                    units_spent: slice.budget.units_spent,
+                    spend_share: if total.budget.units_spent > 0.0 {
+                        slice.budget.units_spent / total.budget.units_spent
+                    } else {
+                        0.0
+                    },
+                    outcomes: slice.outcomes,
+                    precision: slice.precision,
+                    recall: slice.recall,
+                    waste_ratio: slice.waste_ratio,
+                    hits: slice.outcomes.hits,
+                    hit_share,
+                    threshold_final: slice.threshold,
+                    controller_windows: slice.controller_windows,
+                    recalibrations: slice.recalibrations,
+                    gate_floor_hit_share: gate_floor,
+                    starved: hit_share < gate_floor,
+                }
+            })
+            .collect();
+        let recalls: Vec<f64> = per_activity
+            .iter()
+            .map(|r| r.recall.unwrap_or(0.0))
+            .collect();
+        let result = MixedPolicyResult {
+            policy: fairness.name().to_string(),
+            total_hits,
+            total_prefetches: total.budget.admitted,
+            total_units_spent: total.budget.units_spent,
+            budget_utilization: total.budget.utilization(),
+            fairness_index_recall: jain_index(&recalls),
+            no_activity_starved: per_activity.iter().all(|r| !r.starved),
+            per_activity,
+        };
+        println!(
+            "  {:<20} {:>5} hits  fairness {:.3}  per-activity hits {}  recalls {}",
+            result.policy,
+            result.total_hits,
+            result.fairness_index_recall,
+            result
+                .per_activity
+                .iter()
+                .map(|r| format!("{}:{}", r.activity, r.hits))
+                .collect::<Vec<_>>()
+                .join(" "),
+            result
+                .per_activity
+                .iter()
+                .map(|r| format!("{:.2}", r.recall.unwrap_or(f64::NAN)))
+                .collect::<Vec<_>>()
+                .join("/"),
+        );
+        result
+    };
+
+    let policies = vec![
+        run_policy(FairnessPolicy::Greedy),
+        run_policy(FairnessPolicy::GuaranteedShare { floors }),
+        run_policy(FairnessPolicy::DeficitRoundRobin {
+            weights: drr_weights,
+        }),
+    ];
+
+    let guaranteed = policies
+        .iter()
+        .find(|p| p.policy == "guaranteed_share")
+        .expect("guaranteed_share ran");
+    let report = MixedTrafficReport {
+        events: events.len(),
+        burst_prefetches,
+        sustained_fraction,
+        total_capacity_units: capacity_units,
+        total_refill_units_per_sec: refill_units_per_sec,
+        costs: Activity::ALL.iter().map(|&a| costs[a]).collect(),
+        floors: Activity::ALL.iter().map(|&a| floors[a]).collect(),
+        drr_weights: Activity::ALL.iter().map(|&a| drr_weights[a]).collect(),
+        best_static_name: best_static.name.to_string(),
+        best_static_hits: best_static.total_hits,
+        shared_hits_guaranteed_share: guaranteed.total_hits,
+        shared_beats_best_static: guaranteed.total_hits >= best_static.total_hits,
+        guaranteed_share_no_starvation: guaranteed.no_activity_starved,
+        policies,
+        static_splits,
+    };
+    println!(
+        "  shared (guaranteed_share) {} hits vs best static split ({}) {} hits — shared {} static; starvation-free: {}",
+        report.shared_hits_guaranteed_share,
+        report.best_static_name,
+        report.best_static_hits,
+        if report.shared_beats_best_static { ">=" } else { "<" },
+        report.guaranteed_share_no_starvation,
+    );
+    report
+}
+
 /// Push real batched RNN scores through the decision engine: the
 /// serving → precompute integration smoke, end to end.
 fn engine_smoke(events: &[Event], seed: u64) -> EngineSmoke {
@@ -742,6 +1285,18 @@ fn engine_smoke(events: &[Event], seed: u64) -> EngineSmoke {
     }
 }
 
+/// Every valid `--scenario` value, kept in one place so each error path
+/// (unknown scenario, missing value, misspelled flag) can list the valid
+/// names instead of only saying the argument is invalid.
+const SCENARIO_NAMES: [&str; 6] = [
+    "cold_start",
+    "bursty",
+    "diurnal",
+    "learned_loop",
+    "mixed_traffic",
+    "all",
+];
+
 /// Which scenarios a run covers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Selection {
@@ -750,16 +1305,18 @@ enum Selection {
     Bursty,
     Diurnal,
     LearnedLoop,
+    MixedTraffic,
 }
 
 impl Selection {
     fn parse(args: &[String]) -> Self {
+        let valid = SCENARIO_NAMES.join(", ");
         let mut selection = Self::All;
         let mut iter = args.iter();
         while let Some(arg) = iter.next() {
             let value = if arg == "--scenario" {
                 iter.next()
-                    .expect("--scenario requires a value")
+                    .unwrap_or_else(|| panic!("--scenario requires a value (one of: {valid})"))
                     .to_lowercase()
             } else if let Some(value) = arg.strip_prefix("--scenario=") {
                 value.to_lowercase()
@@ -767,7 +1324,8 @@ impl Selection {
                 // Silently ignoring a misspelled flag would run (and gate)
                 // every scenario the caller meant to skip.
                 panic!(
-                    "unknown argument '{arg}' (expected --scenario <name> or --scenario=<name>)"
+                    "unknown argument '{arg}' (expected --scenario <name> or \
+                     --scenario=<name>, where <name> is one of: {valid})"
                 );
             };
             selection = match value.as_str() {
@@ -776,9 +1334,8 @@ impl Selection {
                 "bursty" => Self::Bursty,
                 "diurnal" => Self::Diurnal,
                 "learned_loop" => Self::LearnedLoop,
-                other => panic!(
-                    "unknown scenario '{other}' (expected cold_start, bursty, diurnal, learned_loop or all)"
-                ),
+                "mixed_traffic" => Self::MixedTraffic,
+                other => panic!("unknown scenario '{other}' (valid scenarios: {valid})"),
             };
         }
         selection
@@ -796,6 +1353,10 @@ impl Selection {
 
     fn includes_learned_loop(self) -> bool {
         matches!(self, Self::All | Self::LearnedLoop)
+    }
+
+    fn includes_mixed_traffic(self) -> bool {
+        matches!(self, Self::All | Self::MixedTraffic)
     }
 }
 
@@ -906,6 +1467,13 @@ fn main() {
         None
     };
 
+    let mixed_traffic = if selection.includes_mixed_traffic() {
+        section("mixed traffic: MobileTab + Timeshift + MPU under one shared budget");
+        Some(run_mixed_traffic(&scale, &sim))
+    } else {
+        None
+    };
+
     let smoke = if selection == Selection::All {
         section("serving-engine integration smoke");
         let smoke = engine_smoke(&events, scale.seed);
@@ -924,6 +1492,7 @@ fn main() {
         scenarios,
         engine_smoke: smoke,
         learned_loop,
+        mixed_traffic,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out_path, &json).expect("write benchmark report");
@@ -968,6 +1537,54 @@ fn main() {
             failures.push("PP_REQUIRE_LEARNED_PRECISION set but learned_loop not run".to_string());
         }
     }
+    if std::env::var("PP_REQUIRE_FAIRNESS").is_ok() {
+        if let Some(mixed) = &report.mixed_traffic {
+            if !mixed.guaranteed_share_no_starvation {
+                let starved: Vec<String> = mixed
+                    .policies
+                    .iter()
+                    .filter(|p| p.policy == "guaranteed_share")
+                    .flat_map(|p| p.per_activity.iter())
+                    .filter(|r| r.starved)
+                    .map(|r| {
+                        format!(
+                            "{} hit share {:.3} < floor {:.3}",
+                            r.activity, r.hit_share, r.gate_floor_hit_share
+                        )
+                    })
+                    .collect();
+                failures.push(format!(
+                    "guaranteed-share policy starved an activity: {}",
+                    starved.join("; ")
+                ));
+            }
+            // PP_FAIRNESS_SLACK (default 0.0 = strict) relaxes the
+            // shared-vs-static gate to `shared ≥ (1 − slack) × static` for
+            // runs at scales where the multiplexing margin is thin; the
+            // reported `shared_beats_best_static` bool stays strict. A
+            // malformed value fails loudly rather than silently gating at
+            // full strictness.
+            let slack: f64 = match std::env::var("PP_FAIRNESS_SLACK") {
+                Ok(raw) => raw
+                    .parse()
+                    .expect("PP_FAIRNESS_SLACK must be a number (e.g. 0.02)"),
+                Err(_) => 0.0,
+            };
+            let floor_hits = (1.0 - slack) * mixed.best_static_hits as f64;
+            if (mixed.shared_hits_guaranteed_share as f64) < floor_hits {
+                failures.push(format!(
+                    "shared budget under guaranteed-share produced fewer hits than the best \
+                     static split allows ({} < {:.0} = (1 - {slack}) x {} from {})",
+                    mixed.shared_hits_guaranteed_share,
+                    floor_hits,
+                    mixed.best_static_hits,
+                    mixed.best_static_name
+                ));
+            }
+        } else {
+            failures.push("PP_REQUIRE_FAIRNESS set but mixed_traffic not run".to_string());
+        }
+    }
     if !failures.is_empty() {
         for f in &failures {
             eprintln!("FAIL: {f}");
@@ -976,7 +1593,8 @@ fn main() {
     }
     if std::env::var("PP_REQUIRE_PRECISION").is_ok()
         || std::env::var("PP_REQUIRE_LEARNED_PRECISION").is_ok()
+        || std::env::var("PP_REQUIRE_FAIRNESS").is_ok()
     {
-        println!("OK: all gated precision/lift checks hold");
+        println!("OK: all gated precision/lift/fairness checks hold");
     }
 }

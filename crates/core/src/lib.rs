@@ -10,7 +10,11 @@
 //!   splits, last-7-days evaluation, k-fold cross-validation for MPU, and
 //!   the Table 5 feature ablation;
 //! * [`policy`] — threshold selection for a target precision, the operating
-//!   point used by the production deployment in §9.
+//!   point used by the production deployment in §9. `pp-precompute` keeps
+//!   one [`PrecomputePolicy`] per activity and re-fits each through
+//!   [`PrecomputePolicy::recalibrate`] on that activity's resolved
+//!   (score, label) windows — see `ARCHITECTURE.md` at the repository root
+//!   for the full loop.
 //!
 //! # Examples
 //!

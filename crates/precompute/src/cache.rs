@@ -14,6 +14,16 @@ use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 
 /// Cache sizing and freshness configuration.
+///
+/// # Examples
+///
+/// ```
+/// use pp_precompute::CacheConfig;
+///
+/// let config = CacheConfig { shards: 4, capacity_per_shard: 1_024, ttl_secs: 900 };
+/// assert!(config.ttl_secs > 0);
+/// assert_eq!(CacheConfig::default().shards, 8);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheConfig {
     /// Number of independent shards.
@@ -160,6 +170,27 @@ enum GetResult {
 }
 
 /// A sharded, TTL + LRU bounded store of precomputed payloads.
+///
+/// # Examples
+///
+/// ```
+/// use bytes::Bytes;
+/// use pp_data::schema::UserId;
+/// use pp_precompute::{CacheConfig, PrefetchCache};
+///
+/// let cache = PrefetchCache::new(CacheConfig {
+///     shards: 2,
+///     capacity_per_shard: 8,
+///     ttl_secs: 100,
+/// });
+/// cache.insert(UserId(1), Bytes::from_static(b"payload"), 1_000);
+/// // Within the TTL the payload is served (and consumed by `take`)…
+/// assert!(cache.take(UserId(1), 1_050).is_some());
+/// // …but a payload discovered after its TTL is dropped, not served.
+/// cache.insert(UserId(2), Bytes::from_static(b"stale"), 1_000);
+/// assert!(cache.take(UserId(2), 1_200).is_none());
+/// assert_eq!(cache.stats().expirations, 1);
+/// ```
 #[derive(Debug)]
 pub struct PrefetchCache {
     shards: Vec<Mutex<Shard>>,
@@ -232,6 +263,23 @@ impl PrefetchCache {
     /// payload is returned and its LRU recency refreshed; an expired payload
     /// is dropped on discovery — counted as `expired`, never as an LRU
     /// eviction, and without a recency touch on the way out.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bytes::Bytes;
+    /// use pp_data::schema::UserId;
+    /// use pp_precompute::{CacheConfig, PrefetchCache};
+    ///
+    /// let cache = PrefetchCache::new(CacheConfig::default());
+    /// cache.insert(UserId(9), Bytes::from_static(b"p"), 0);
+    /// // `get` peeks: the payload survives repeated reads…
+    /// assert!(cache.get(UserId(9), 10).is_some());
+    /// assert!(cache.get(UserId(9), 20).is_some());
+    /// // …until `take` consumes it.
+    /// assert!(cache.take(UserId(9), 30).is_some());
+    /// assert!(cache.get(UserId(9), 40).is_none());
+    /// ```
     pub fn get(&self, user: UserId, now: i64) -> Option<Bytes> {
         let shard = &self.shards[self.shard_index(user)];
         let result = shard.lock().get(user.0, now);
@@ -277,6 +325,24 @@ impl PrefetchCache {
 
     /// Drops every payload already expired at `now`, returning how many
     /// were dropped (counted as expirations).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bytes::Bytes;
+    /// use pp_data::schema::UserId;
+    /// use pp_precompute::{CacheConfig, PrefetchCache};
+    ///
+    /// let cache = PrefetchCache::new(CacheConfig {
+    ///     shards: 1,
+    ///     capacity_per_shard: 8,
+    ///     ttl_secs: 50,
+    /// });
+    /// cache.insert(UserId(1), Bytes::from_static(b"old"), 0);   // expires at 50
+    /// cache.insert(UserId(2), Bytes::from_static(b"new"), 100); // expires at 150
+    /// assert_eq!(cache.purge_expired(120), 1);
+    /// assert_eq!(cache.len(), 1);
+    /// ```
     pub fn purge_expired(&self, now: i64) -> usize {
         let mut dropped = 0usize;
         for shard in &self.shards {

@@ -6,6 +6,7 @@
 //! (prefetch / skip) and the system downgrades a prefetch to
 //! [`Action::Denied`] when the budget refuses it.
 
+use crate::activity::{Activity, ActivityMap};
 use pp_core::PrecomputePolicy;
 use pp_data::schema::UserId;
 use pp_serving::{BatchServingEngine, PredictRequest, Prediction};
@@ -27,6 +28,8 @@ pub enum Action {
 pub struct Decision {
     /// The user the session belongs to.
     pub user_id: UserId,
+    /// The activity the decision precomputes for.
+    pub activity: Activity,
     /// Session-start timestamp (UNIX seconds) the decision was taken at.
     pub timestamp: i64,
     /// The predicted access probability the decision was based on.
@@ -48,52 +51,98 @@ pub struct DecisionStats {
     pub skips: u64,
 }
 
-/// Applies a [`PrecomputePolicy`] to batched predictions.
+/// Applies per-activity [`PrecomputePolicy`]s to batched predictions.
+///
+/// Single-activity callers can ignore the activity dimension entirely: the
+/// untagged methods route through [`Activity::MobileTab`], and
+/// [`DecisionEngine::set_policy`] keeps every activity on one shared
+/// policy. A multi-activity deployment instead gives each activity its own
+/// operating point via [`DecisionEngine::set_policy_for`] and decides with
+/// [`DecisionEngine::decide_for`].
 #[derive(Debug, Clone)]
 pub struct DecisionEngine {
-    policy: PrecomputePolicy,
-    stats: DecisionStats,
+    policies: ActivityMap<PrecomputePolicy>,
+    by_activity: ActivityMap<DecisionStats>,
 }
 
 impl DecisionEngine {
-    /// Creates an engine applying `policy`.
+    /// Creates an engine applying `policy` to every activity.
     pub fn new(policy: PrecomputePolicy) -> Self {
         Self {
-            policy,
-            stats: DecisionStats::default(),
+            policies: ActivityMap::uniform(policy),
+            by_activity: ActivityMap::uniform(DecisionStats::default()),
         }
     }
 
-    /// The policy currently in force.
+    /// The policy currently in force for the default activity
+    /// ([`Activity::MobileTab`]) — the single-activity view.
     pub fn policy(&self) -> PrecomputePolicy {
-        self.policy
+        self.policies[Activity::MobileTab]
     }
 
-    /// Replaces the policy in force (the adaptive controller's entry point;
-    /// decisions already taken keep the threshold they were taken at).
+    /// The policy currently in force for `activity`.
+    pub fn policy_for(&self, activity: Activity) -> PrecomputePolicy {
+        self.policies[activity]
+    }
+
+    /// Replaces the policy in force for *every* activity (the
+    /// single-activity adaptive controller's entry point; decisions already
+    /// taken keep the threshold they were taken at).
     pub fn set_policy(&mut self, policy: PrecomputePolicy) {
-        self.policy = policy;
+        self.policies = ActivityMap::uniform(policy);
     }
 
-    /// Counters accumulated so far.
+    /// Replaces the policy in force for `activity` only — the per-activity
+    /// controller's entry point in a shared deployment.
+    pub fn set_policy_for(&mut self, activity: Activity, policy: PrecomputePolicy) {
+        self.policies[activity] = policy;
+    }
+
+    /// Counters accumulated so far, summed across activities.
     pub fn stats(&self) -> DecisionStats {
-        self.stats
+        let mut total = DecisionStats::default();
+        for stats in self.by_activity.values() {
+            total.scored += stats.scored;
+            total.prefetch_intents += stats.prefetch_intents;
+            total.skips += stats.skips;
+        }
+        total
     }
 
-    /// Decides for a single prediction made at `timestamp`.
+    /// Counters accumulated for `activity`.
+    pub fn stats_for(&self, activity: Activity) -> DecisionStats {
+        self.by_activity[activity]
+    }
+
+    /// Decides for a single prediction made at `timestamp`, on the default
+    /// activity ([`Activity::MobileTab`]).
     pub fn decide(&mut self, prediction: &Prediction, timestamp: i64) -> Decision {
-        self.stats.scored += 1;
-        let prefetch = self.policy.should_precompute(prediction.probability);
+        self.decide_for(Activity::MobileTab, prediction, timestamp)
+    }
+
+    /// Decides for a single `activity` prediction made at `timestamp`,
+    /// under that activity's policy.
+    pub fn decide_for(
+        &mut self,
+        activity: Activity,
+        prediction: &Prediction,
+        timestamp: i64,
+    ) -> Decision {
+        let policy = self.policies[activity];
+        let stats = &mut self.by_activity[activity];
+        stats.scored += 1;
+        let prefetch = policy.should_precompute(prediction.probability);
         if prefetch {
-            self.stats.prefetch_intents += 1;
+            stats.prefetch_intents += 1;
         } else {
-            self.stats.skips += 1;
+            stats.skips += 1;
         }
         Decision {
             user_id: prediction.user_id,
+            activity,
             timestamp,
             probability: prediction.probability,
-            threshold: self.policy.threshold(),
+            threshold: policy.threshold(),
             action: if prefetch {
                 Action::Prefetch
             } else {
@@ -161,6 +210,27 @@ mod tests {
         assert_eq!(stats.scored, 3);
         assert_eq!(stats.prefetch_intents, 2);
         assert_eq!(stats.skips, 1);
+    }
+
+    #[test]
+    fn per_activity_policies_decide_independently() {
+        let mut engine = DecisionEngine::new(PrecomputePolicy::with_threshold(0.5));
+        engine.set_policy_for(Activity::Mpu, PrecomputePolicy::with_threshold(0.9));
+        let p = prediction(1, 0.7);
+        let mobile = engine.decide_for(Activity::MobileTab, &p, 0);
+        let mpu = engine.decide_for(Activity::Mpu, &p, 0);
+        assert_eq!(mobile.action, Action::Prefetch);
+        assert_eq!(mobile.activity, Activity::MobileTab);
+        assert_eq!(mpu.action, Action::Skip);
+        assert_eq!(mpu.activity, Activity::Mpu);
+        assert!((mpu.threshold - 0.9).abs() < 1e-12);
+        // Per-activity stats split; the aggregate sums them.
+        assert_eq!(engine.stats_for(Activity::Mpu).skips, 1);
+        assert_eq!(engine.stats_for(Activity::MobileTab).prefetch_intents, 1);
+        assert_eq!(engine.stats().scored, 2);
+        // Untagged set_policy resets every activity.
+        engine.set_policy(PrecomputePolicy::with_threshold(0.1));
+        assert!((engine.policy_for(Activity::Mpu).threshold() - 0.1).abs() < 1e-12);
     }
 
     #[test]

@@ -9,40 +9,52 @@
 //! MobileTab launch). `pp-serving` produces batched scores; this crate
 //! closes the predict → act → measure loop around them:
 //!
-//! * [`decision`] — the [`DecisionEngine`]: applies a
-//!   [`pp_core::PrecomputePolicy`] to batched [`pp_serving::Prediction`]s
+//! * [`activity`] — the [`Activity`] dimension of a shared deployment
+//!   (MobileTab / Timeshift / MPU), the dense per-activity [`ActivityMap`],
+//!   and [`jain_index`] for fairness reporting;
+//! * [`decision`] — the [`DecisionEngine`]: applies per-activity
+//!   [`pp_core::PrecomputePolicy`]s to batched [`pp_serving::Prediction`]s
 //!   (straight from a [`pp_serving::BatchServingEngine`] via
 //!   `predict_many_blocking`) and emits per-request [`Decision`]s;
 //! * [`scheduler`] — the [`PrefetchScheduler`]: token-bucket admission with
 //!   a max-inflight cap, costing each prefetch in the abstract cost units
 //!   of `pp-serving::cost` ([`prefetch_cost_units`]), so "budget" means the
-//!   same thing as the §9 serving-cost model; fractional-clock refill, and
+//!   same thing as the §9 serving-cost model; fractional-clock refill,
 //!   [`AdmissionOrder`]-controlled wave admission (FIFO, or
 //!   highest-probability-first so a low bucket is spent on the prefetches
-//!   most likely to become hits);
+//!   most likely to become hits), and **shared multi-activity buckets**:
+//!   per-activity costs drawing on one budget under a pluggable
+//!   [`FairnessPolicy`] (greedy, guaranteed-share floors, or
+//!   deficit-weighted round-robin), with per-activity spend accounting that
+//!   provably sums to the total drain;
 //! * [`cache`] — the sharded [`PrefetchCache`]: TTL + LRU bounded storage
 //!   for precomputed payloads keyed by user (a TTL-expired payload counts
 //!   as expired, never as an LRU eviction);
 //! * [`outcome`] — the [`OutcomeTracker`]: resolves every decision against
 //!   what the session actually did (hit / wasted prefetch / expired
 //!   prefetch / missed access / correct skip) with exact conservation,
-//!   emits live precision / recall / waste, and retains drainable
-//!   ([`ResolvedSample`]) (score, label) pairs for recalibration;
+//!   emits live precision / recall / waste per activity, and retains
+//!   drainable ([`ResolvedSample`]) (score, label) pairs per activity for
+//!   recalibration;
 //! * [`adaptive`] — the [`AdaptiveThresholdController`]: nudges the
 //!   decision threshold online, window by window, to hold the target
 //!   precision as traffic drifts;
-//! * [`system`] — the [`PrecomputeSystem`] wiring all five together behind
-//!   two calls: `handle_scores` at session start, `resolve_session` when
-//!   the ground truth lands — plus the learned feedback loop
-//!   (`on_window_resolved`): every closed controller window drains the
-//!   tracker's (score, label) samples into
+//! * [`system`] — the [`PrecomputeSystem`] wiring all of it together behind
+//!   two calls: `handle_scores` / `handle_wave` at session start,
+//!   `resolve_session` when the ground truth lands — with one adaptive
+//!   controller and one learned feedback loop (`on_window_resolved`) *per
+//!   activity*: every closed controller window drains that activity's
+//!   (score, label) samples into
 //!   [`pp_core::PrecomputePolicy::recalibrate`] and applies the refit
 //!   threshold, with a starvation fallback so a saturated threshold
-//!   recovers from resolved skips instead of deadlocking.
+//!   recovers from resolved skips instead of deadlocking. The per-activity
+//!   spend/hit ledger surfaces through
+//!   [`PrecomputeSystem::activity_report`].
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod activity;
 pub mod adaptive;
 pub mod cache;
 pub mod decision;
@@ -50,12 +62,15 @@ pub mod outcome;
 pub mod scheduler;
 pub mod system;
 
+pub use activity::{jain_index, Activity, ActivityMap};
 pub use adaptive::{AdaptiveThresholdController, ControllerConfig, WindowSnapshot};
 pub use cache::{CacheConfig, CacheStats, PrefetchCache};
 pub use decision::{Action, Decision, DecisionEngine, DecisionStats};
 pub use outcome::{Outcome, OutcomeCounts, OutcomeTracker, ResolvedSample, MAX_RETAINED_SAMPLES};
 pub use scheduler::{
-    prefetch_cost_units, AdmissionOrder, AdmitResult, BudgetConfig, PrefetchScheduler,
-    SchedulerBudgetStats,
+    prefetch_cost_units, ActivityBudgetStats, AdmissionOrder, AdmitResult, BudgetConfig,
+    FairnessPolicy, PrefetchScheduler, SchedulerBudgetStats,
 };
-pub use system::{PrecomputeSystem, SystemConfig, SystemReport};
+pub use system::{
+    ActivityReport, MultiActivityConfig, PrecomputeSystem, SystemConfig, SystemReport,
+};

@@ -8,6 +8,7 @@
 //! prefetches), recall (successful prefetches over all accesses) and the
 //! waste ratio.
 
+use crate::activity::{Activity, ActivityMap};
 use crate::decision::{Action, Decision};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
@@ -29,6 +30,26 @@ pub enum Outcome {
 }
 
 /// Outcome bucket totals.
+///
+/// # Examples
+///
+/// ```
+/// use pp_precompute::OutcomeCounts;
+///
+/// let counts = OutcomeCounts {
+///     hits: 6,
+///     wasted_prefetches: 3,
+///     expired_prefetches: 1,
+///     missed_accesses: 2,
+///     correct_skips: 8,
+/// };
+/// assert_eq!(counts.resolved(), 20);
+/// assert_eq!(counts.prefetches_resolved(), 10);
+/// assert_eq!(counts.accesses(), 9);
+/// assert_eq!(counts.precision(), Some(0.6));
+/// assert_eq!(counts.recall(), Some(6.0 / 9.0));
+/// assert_eq!(counts.waste_ratio(), Some(0.3));
+/// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OutcomeCounts {
     /// Successful prefetches.
@@ -83,6 +104,15 @@ impl OutcomeCounts {
         (prefetches > 0).then(|| self.wasted_prefetches as f64 / prefetches as f64)
     }
 
+    /// Adds another bucket total into this one (aggregating activities).
+    pub fn accumulate(&mut self, other: &OutcomeCounts) {
+        self.hits += other.hits;
+        self.wasted_prefetches += other.wasted_prefetches;
+        self.expired_prefetches += other.expired_prefetches;
+        self.missed_accesses += other.missed_accesses;
+        self.correct_skips += other.correct_skips;
+    }
+
     fn bump(&mut self, outcome: Outcome) {
         match outcome {
             Outcome::Hit => self.hits += 1,
@@ -108,21 +138,47 @@ pub struct ResolvedSample {
     pub label: bool,
 }
 
-/// Most recent resolutions kept for [`OutcomeTracker::drain_samples`] when
-/// nobody drains (bounded so an un-drained tracker cannot grow forever).
-/// Anything waiting on a sample count must trigger at or below this bound —
-/// `samples_len()` can never exceed it.
+/// Most recent resolutions kept **per activity** for
+/// [`OutcomeTracker::drain_samples`] when nobody drains (bounded so an
+/// un-drained tracker cannot grow forever). Anything waiting on a sample
+/// count must trigger at or below this bound —
+/// [`OutcomeTracker::samples_len_for`] can never exceed it.
 pub const MAX_RETAINED_SAMPLES: usize = 8_192;
 
-/// Resolves decisions against observed session outcomes.
+/// Resolves decisions against observed session outcomes, bucketed per
+/// [`Activity`] (the aggregate view sums the buckets).
+///
+/// # Examples
+///
+/// ```
+/// use pp_data::schema::UserId;
+/// use pp_precompute::{Action, Activity, Decision, Outcome, OutcomeTracker};
+///
+/// let mut tracker = OutcomeTracker::new();
+/// tracker.record(Decision {
+///     user_id: UserId(7),
+///     activity: Activity::Timeshift,
+///     timestamp: 0,
+///     probability: 0.8,
+///     threshold: 0.5,
+///     action: Action::Prefetch,
+/// });
+/// // The session accessed and the payload was served fresh: a hit.
+/// let outcome = tracker.resolve(UserId(7), true, true).unwrap();
+/// assert_eq!(outcome, Outcome::Hit);
+/// assert_eq!(tracker.counts_for(Activity::Timeshift).hits, 1);
+/// assert_eq!(tracker.counts().hits, 1);
+/// assert!(tracker.check_conservation().is_ok());
+/// ```
 #[derive(Debug, Default)]
 pub struct OutcomeTracker {
     /// The outstanding (unresolved) decision per user.
     pending: HashMap<u64, Decision>,
-    counts: OutcomeCounts,
+    counts: ActivityMap<OutcomeCounts>,
     recorded: u64,
-    /// (score, label) pairs of recent resolutions, oldest first.
-    samples: VecDeque<ResolvedSample>,
+    /// (score, label) pairs of recent resolutions per activity, oldest
+    /// first.
+    samples: ActivityMap<VecDeque<ResolvedSample>>,
 }
 
 impl OutcomeTracker {
@@ -182,13 +238,14 @@ impl OutcomeTracker {
                 }
             }
         };
-        self.counts.bump(outcome);
-        self.samples.push_back(ResolvedSample {
+        self.counts[decision.activity].bump(outcome);
+        let samples = &mut self.samples[decision.activity];
+        samples.push_back(ResolvedSample {
             score: decision.probability,
             label: accessed,
         });
-        if self.samples.len() > MAX_RETAINED_SAMPLES {
-            self.samples.pop_front();
+        if samples.len() > MAX_RETAINED_SAMPLES {
+            samples.pop_front();
         }
         Some(outcome)
     }
@@ -200,9 +257,20 @@ impl OutcomeTracker {
         self.resolve(user, false, false)
     }
 
-    /// Outcome totals so far.
+    /// Outcome totals so far, summed across activities.
     pub fn counts(&self) -> OutcomeCounts {
-        self.counts
+        let mut total = OutcomeCounts::default();
+        for counts in self.counts.values() {
+            total.accumulate(counts);
+        }
+        total
+    }
+
+    /// Outcome totals for one activity — the per-activity half of the
+    /// shared budget's spend/hit ledger (the spend half lives in
+    /// [`crate::scheduler::PrefetchScheduler::activity_stats`]).
+    pub fn counts_for(&self, activity: Activity) -> OutcomeCounts {
+        self.counts[activity]
     }
 
     /// Decisions recorded so far (resolved or pending).
@@ -215,23 +283,43 @@ impl OutcomeTracker {
         self.pending.len()
     }
 
-    /// Number of (score, label) samples awaiting a drain.
+    /// Number of (score, label) samples awaiting a drain, across all
+    /// activities.
     pub fn samples_len(&self) -> usize {
-        self.samples.len()
+        self.samples.values().map(|s| s.len()).sum()
+    }
+
+    /// Number of `activity` (score, label) samples awaiting a drain.
+    pub fn samples_len_for(&self, activity: Activity) -> usize {
+        self.samples[activity].len()
     }
 
     /// Drains the (score, label) pairs of every resolution since the last
-    /// drain (bounded to the most recent 8 192), oldest first — the window
-    /// of labelled observations a [`pp_core::PrecomputePolicy::recalibrate`]
-    /// step consumes.
+    /// drain (bounded to the most recent 8 192 per activity), oldest first
+    /// within each activity — the window of labelled observations a
+    /// [`pp_core::PrecomputePolicy::recalibrate`] step consumes. In a
+    /// multi-activity deployment prefer
+    /// [`OutcomeTracker::drain_samples_for`], which keeps the activities'
+    /// calibration windows separate.
     pub fn drain_samples(&mut self) -> Vec<ResolvedSample> {
-        self.samples.drain(..).collect()
+        let mut all = Vec::with_capacity(self.samples_len());
+        for activity in Activity::ALL {
+            all.extend(self.samples[activity].drain(..));
+        }
+        all
+    }
+
+    /// Drains the (score, label) pairs of `activity`'s resolutions since
+    /// the last drain, oldest first.
+    pub fn drain_samples_for(&mut self, activity: Activity) -> Vec<ResolvedSample> {
+        self.samples[activity].drain(..).collect()
     }
 
     /// Checks conservation: every recorded decision is either resolved into
-    /// exactly one bucket or still pending.
+    /// exactly one bucket or still pending — and the per-activity buckets
+    /// sum to the aggregate by construction.
     pub fn check_conservation(&self) -> Result<(), String> {
-        let accounted = self.counts.resolved() + self.pending.len() as u64;
+        let accounted = self.counts().resolved() + self.pending.len() as u64;
         if accounted == self.recorded {
             Ok(())
         } else {
@@ -239,7 +327,7 @@ impl OutcomeTracker {
                 "conservation violated: {} recorded but {} accounted (resolved {} + pending {})",
                 self.recorded,
                 accounted,
-                self.counts.resolved(),
+                self.counts().resolved(),
                 self.pending.len()
             ))
         }
@@ -255,6 +343,7 @@ mod tests {
     fn decision(id: u64, action: Action) -> Decision {
         Decision {
             user_id: UserId(id),
+            activity: Activity::MobileTab,
             timestamp: 0,
             probability: 0.5,
             threshold: 0.4,
@@ -357,6 +446,41 @@ mod tests {
         assert_eq!(t.samples_len(), 0);
         assert!(t.drain_samples().is_empty());
         assert!(t.check_conservation().is_ok());
+    }
+
+    #[test]
+    fn per_activity_buckets_split_and_sum_to_the_aggregate() {
+        let mut t = OutcomeTracker::new();
+        for (id, activity, action) in [
+            (1, Activity::MobileTab, Action::Prefetch),
+            (2, Activity::Timeshift, Action::Prefetch),
+            (3, Activity::Mpu, Action::Skip),
+            (4, Activity::Timeshift, Action::Skip),
+        ] {
+            t.record(Decision {
+                activity,
+                ..decision(id, action)
+            });
+        }
+        t.resolve(UserId(1), true, true); // MobileTab hit
+        t.resolve(UserId(2), false, false); // Timeshift waste
+        t.resolve(UserId(3), true, false); // MPU missed access
+        t.resolve(UserId(4), false, false); // Timeshift correct skip
+        assert_eq!(t.counts_for(Activity::MobileTab).hits, 1);
+        assert_eq!(t.counts_for(Activity::Timeshift).wasted_prefetches, 1);
+        assert_eq!(t.counts_for(Activity::Timeshift).correct_skips, 1);
+        assert_eq!(t.counts_for(Activity::Mpu).missed_accesses, 1);
+        assert_eq!(t.counts().resolved(), 4);
+        assert!(t.check_conservation().is_ok());
+        // Samples drain per activity, keeping calibration windows separate.
+        assert_eq!(t.samples_len(), 4);
+        assert_eq!(t.samples_len_for(Activity::Timeshift), 2);
+        let timeshift = t.drain_samples_for(Activity::Timeshift);
+        assert_eq!(timeshift.len(), 2);
+        assert_eq!(t.samples_len(), 2);
+        // The aggregate drain sweeps what is left.
+        assert_eq!(t.drain_samples().len(), 2);
+        assert_eq!(t.samples_len(), 0);
     }
 
     #[test]

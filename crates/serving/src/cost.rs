@@ -75,7 +75,25 @@ impl ServingProfile {
     /// Total per-prediction cost of this path under `weights`, in abstract
     /// FLOP-equivalent units — the single formula behind both the §9
     /// comparison ([`compare`]) and the precompute budget
-    /// (`pp-precompute`'s token bucket is denominated in these units).
+    /// (`pp-precompute`'s token bucket is denominated in these units; a
+    /// multi-activity deployment derives each activity's per-prefetch cost
+    /// from its own model's profile through this function).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pp_serving::{CostWeights, ServingProfile};
+    ///
+    /// let rnn_like = ServingProfile {
+    ///     lookups_per_prediction: 1.0,
+    ///     bytes_per_prediction: 512.0,
+    ///     model_flops_per_prediction: 2_400.0,
+    ///     storage_keys_per_user: 1.0,
+    ///     storage_bytes_per_user: 512.0,
+    /// };
+    /// // one lookup (50 000) + 512 bytes (5 120) + the model FLOPs
+    /// assert_eq!(rnn_like.cost_units(&CostWeights::default()), 57_520.0);
+    /// ```
     pub fn cost_units(&self, weights: &CostWeights) -> f64 {
         self.lookups_per_prediction * weights.flops_per_lookup
             + self.bytes_per_prediction * weights.flops_per_byte

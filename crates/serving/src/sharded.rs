@@ -1,6 +1,6 @@
 //! A sharded hidden-state store for throughput-oriented serving.
 //!
-//! The single [`KvStore`](crate::kv_store::KvStore) of §9 serializes every
+//! The single [`KvStore`] of §9 serializes every
 //! access through one `RwLock`'d map; at production concurrency ("heavy
 //! traffic from millions of users") that lock becomes the bottleneck. The
 //! [`ShardedStateStore`] splits the key space into `N` independent shards
