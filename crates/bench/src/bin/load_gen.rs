@@ -16,9 +16,20 @@
 //! `PP_REQUIRE_SPEEDUP` (unset → report only; set e.g. `3.0` to exit
 //! non-zero when the batched/single throughput ratio falls short).
 //!
+//! Observability knobs: `PP_OBS_EVENTS` (unset → skip; set to a path to
+//! drain the structured event ring there as JSONL), `PP_OBS_BASELINE`
+//! (path to a `BENCH_serving.json` produced by the instrumentation-free
+//! build — `cargo build -p pp-bench --no-default-features` — to compare
+//! against) and `PP_REQUIRE_OBS_OVERHEAD` (tolerated fractional throughput
+//! loss vs. that baseline, e.g. `0.05`; exits non-zero when instrumented
+//! batched throughput falls below `(1 - tol) ×` baseline).
+//!
 //! Results are written to `PP_OUT` in the `BENCH_serving.json` format:
 //! a `config` block, one entry per mode with `sessions_per_sec` and
-//! latency percentiles in microseconds, and a `speedup` block.
+//! latency percentiles in microseconds, a `speedup` block, and a `metrics`
+//! block — the final `pp-obs` registry snapshot with per-stage latency
+//! percentiles (batch assembly, forward pass, coalesce wait, store
+//! traffic).
 
 use pp_bench::{env_or, section, Scale};
 use pp_data::schema::DatasetKind;
@@ -73,6 +84,7 @@ struct BenchReport {
     config: BenchConfig,
     modes: Vec<ModeResult>,
     speedup: Speedup,
+    metrics: pp_obs::Snapshot,
 }
 
 fn percentile(sorted_us: &[f64], p: f64) -> f64 {
@@ -370,30 +382,137 @@ fn main() {
         speedup.throughput_ratio, speedup.p50_latency_ratio
     );
 
+    let metrics = pp_obs::MetricsRegistry::global().snapshot();
+    if pp_obs::is_enabled() {
+        let stage = |name: &str| {
+            metrics
+                .histogram(name)
+                .map(|h| {
+                    format!(
+                        "p50 {:>9.0} ns  p99 {:>9.0} ns  (n={})",
+                        h.p50, h.p99, h.count
+                    )
+                })
+                .unwrap_or_else(|| "-".to_string())
+        };
+        section("metrics (pp-obs)");
+        println!("  batch assembly  {}", stage("serving.batch_assembly_ns"));
+        println!("  forward pass    {}", stage("serving.forward_pass_ns"));
+        println!("  coalesce wait   {}", stage("serving.coalesce_wait_ns"));
+    }
+    if let Ok(events_path) = std::env::var("PP_OBS_EVENTS") {
+        let events = pp_obs::MetricsRegistry::global().events().drain();
+        let jsonl = pp_obs::EventLog::to_jsonl(&events);
+        std::fs::write(&events_path, jsonl).expect("write event log");
+        println!("wrote {events_path}");
+    }
+
     let report = BenchReport {
         benchmark: "serving_load_gen".to_string(),
         config,
         modes: vec![single, batched],
         speedup,
+        metrics,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out_path, &json).expect("write benchmark report");
     println!("wrote {out_path}");
 
+    let mut failures: Vec<String> = Vec::new();
     if let Ok(required) = std::env::var("PP_REQUIRE_SPEEDUP") {
         let required: f64 = required
             .parse()
             .expect("PP_REQUIRE_SPEEDUP must be a number");
         if report.speedup.throughput_ratio < required {
-            eprintln!(
-                "FAIL: batched/single throughput {:.2}x below required {required:.2}x",
+            failures.push(format!(
+                "batched/single throughput {:.2}x below required {required:.2}x",
+                report.speedup.throughput_ratio
+            ));
+        } else {
+            println!(
+                "OK: batched/single throughput {:.2}x meets required {required:.2}x",
                 report.speedup.throughput_ratio
             );
-            std::process::exit(1);
         }
+    }
+
+    // Instrumentation-overhead self-test: compare this (instrumented) run's
+    // batched throughput against a baseline report from the no-op build.
+    let baseline_path = std::env::var("PP_OBS_BASELINE").ok();
+    if let Ok(tolerance) = std::env::var("PP_REQUIRE_OBS_OVERHEAD") {
+        let tolerance: f64 = tolerance
+            .parse()
+            .expect("PP_REQUIRE_OBS_OVERHEAD must be a number");
+        let baseline_path = baseline_path
+            .as_deref()
+            .expect("PP_REQUIRE_OBS_OVERHEAD needs PP_OBS_BASELINE pointing at the no-op report");
+        let baseline = baseline_batched_throughput(baseline_path);
+        let instrumented = report
+            .modes
+            .iter()
+            .find(|m| m.mode == "batched")
+            .expect("batched mode present")
+            .sessions_per_sec;
+        let floor = (1.0 - tolerance) * baseline;
+        let delta = 1.0 - instrumented / baseline;
+        if instrumented < floor {
+            failures.push(format!(
+                "instrumented batched throughput {instrumented:.0}/s is {:.1}% below no-op \
+                 baseline {baseline:.0}/s (tolerated: {:.1}%)",
+                delta * 100.0,
+                tolerance * 100.0
+            ));
+        } else {
+            println!(
+                "OK: instrumentation overhead {:.1}% within {:.1}% of no-op baseline \
+                 ({instrumented:.0}/s vs {baseline:.0}/s)",
+                delta.max(0.0) * 100.0,
+                tolerance * 100.0
+            );
+        }
+    } else if let Some(path) = baseline_path.as_deref() {
+        let baseline = baseline_batched_throughput(path);
+        let instrumented = report
+            .modes
+            .iter()
+            .find(|m| m.mode == "batched")
+            .expect("batched mode present")
+            .sessions_per_sec;
         println!(
-            "OK: batched/single throughput {:.2}x meets required {required:.2}x",
-            report.speedup.throughput_ratio
+            "instrumentation overhead vs {path}: {:.1}% ({instrumented:.0}/s vs {baseline:.0}/s)",
+            (1.0 - instrumented / baseline) * 100.0
         );
     }
+
+    if !failures.is_empty() {
+        for failure in &failures {
+            eprintln!("FAIL: {failure}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// Reads the batched-mode `sessions_per_sec` out of a `BENCH_serving.json`
+/// written by another build of this binary (the no-op baseline).
+fn baseline_batched_throughput(path: &str) -> f64 {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("PP_OBS_BASELINE {path} unreadable: {e}"));
+    let value: serde::Value = serde_json::from_str(&text)
+        .unwrap_or_else(|e| panic!("PP_OBS_BASELINE {path} is not valid JSON: {e}"));
+    value
+        .as_object()
+        .and_then(|pairs| pairs.iter().find(|(k, _)| k == "modes"))
+        .and_then(|(_, modes)| modes.as_array())
+        .and_then(|modes| {
+            modes.iter().find(|m| {
+                m.as_object()
+                    .and_then(|pairs| pairs.iter().find(|(k, _)| k == "mode"))
+                    .and_then(|(_, v)| v.as_str())
+                    == Some("batched")
+            })
+        })
+        .and_then(|m| m.as_object())
+        .and_then(|pairs| pairs.iter().find(|(k, _)| k == "sessions_per_sec"))
+        .and_then(|(_, v)| v.as_f64())
+        .unwrap_or_else(|| panic!("PP_OBS_BASELINE {path} has no batched sessions_per_sec"))
 }

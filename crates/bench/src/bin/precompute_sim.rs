@@ -57,8 +57,12 @@
 //! when priority admission yields fewer successful prefetches than FIFO at
 //! equal budget), `PP_REQUIRE_FAIRNESS` (unset → report only; set to exit
 //! non-zero when an activity starves under the guaranteed-share policy or
-//! the shared bucket loses to the best static split). Every report field is
-//! documented in `docs/benchmarks.md`.
+//! the shared bucket loses to the best static split), `PP_OBS_EVENTS`
+//! (unset → skip; set to a path to drain the `pp-obs` structured event ring
+//! there as JSONL). The report also carries a `metrics` block — the final
+//! `pp-obs` registry snapshot with admission/cache-op latency percentiles
+//! and per-activity admission, precision, and threshold trajectories. Every
+//! report field is documented in `docs/benchmarks.md`.
 //!
 //! Hard invariants are asserted on every run regardless of knobs: outcome
 //! accounting exactly balances decisions (conservation), the budget is
@@ -333,6 +337,7 @@ struct SimReport {
     engine_smoke: Option<EngineSmoke>,
     learned_loop: Option<LearnedLoopReport>,
     mixed_traffic: Option<MixedTrafficReport>,
+    metrics: pp_obs::Snapshot,
 }
 
 /// Seeded noisy oracle: a logistic-noise score centered above the
@@ -1486,6 +1491,49 @@ fn main() {
         None
     };
 
+    let metrics = pp_obs::MetricsRegistry::global().snapshot();
+    if pp_obs::is_enabled() {
+        let stage = |name: &str| {
+            metrics
+                .histogram(name)
+                .map(|h| {
+                    format!(
+                        "p50 {:>9.0} ns  p99 {:>9.0} ns  (n={})",
+                        h.p50, h.p99, h.count
+                    )
+                })
+                .unwrap_or_else(|| "-".to_string())
+        };
+        section("metrics (pp-obs)");
+        println!("  admission       {}", stage("precompute.admission_ns"));
+        println!("  cache ops       {}", stage("precompute.cache_op_ns"));
+        for activity in Activity::ALL {
+            let admitted = metrics
+                .counter(&format!("precompute.admitted.{}", activity.slug()))
+                .map_or(0, |c| c.value);
+            let denied = metrics
+                .counter(&format!("precompute.denied.{}", activity.slug()))
+                .map_or(0, |c| c.value);
+            let threshold = metrics
+                .gauge(&format!("precompute.threshold.{}", activity.slug()))
+                .map_or(f64::NAN, |g| g.value);
+            println!(
+                "  {:<14}  admitted {admitted:>7}  denied {denied:>7}  threshold {threshold:.3}",
+                activity.slug()
+            );
+        }
+        println!(
+            "  events buffered {} (dropped {})",
+            metrics.events_buffered, metrics.events_dropped
+        );
+    }
+    if let Ok(events_path) = std::env::var("PP_OBS_EVENTS") {
+        let events = pp_obs::MetricsRegistry::global().events().drain();
+        let jsonl = pp_obs::EventLog::to_jsonl(&events);
+        std::fs::write(&events_path, jsonl).expect("write event log");
+        println!("wrote {events_path}");
+    }
+
     let report = SimReport {
         benchmark: "precompute_sim".to_string(),
         config: sim,
@@ -1493,6 +1541,7 @@ fn main() {
         engine_smoke: smoke,
         learned_loop,
         mixed_traffic,
+        metrics,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out_path, &json).expect("write benchmark report");

@@ -1,0 +1,48 @@
+//! # pp-obs
+//!
+//! The std-only observability layer shared by the serving and precompute
+//! crates: the paper's production story is a continuously *measured*
+//! predict → decide → act → measure → recalibrate loop, and this crate is
+//! the measuring instrument. No `tracing`, no `prometheus` — just atomics,
+//! a mutex-guarded ring, and the workspace serde shim:
+//!
+//! * [`metrics`] — [`Counter`], [`Gauge`], and the log-bucketed latency
+//!   [`Histogram`] (exact counts, interpolated p50/p90/p99, merge-able
+//!   across threads), plus the zero-alloc [`SpanTimer`] RAII guard and the
+//!   explicit [`Stopwatch`] for hot-path timing;
+//! * [`events`] — the bounded ring-buffer [`EventLog`] of structured
+//!   [`Event`]s (threshold moves, budget exhaustion, eviction storms,
+//!   recalibration windows), drainable to JSONL;
+//! * [`registry`] — the global-or-injected [`MetricsRegistry`] handing out
+//!   named metric handles, its serializable [`Snapshot`], and the periodic
+//!   [`Reporter`].
+//!
+//! ## Compiled-out mode
+//!
+//! Everything records only under the `enabled` cargo feature (on by
+//! default). With `--no-default-features` every recording call is guarded
+//! by the `const fn` [`is_enabled`], so the optimizer deletes the body and
+//! instrumented code paths cost nothing — the baseline the CI overhead
+//! gate compares against.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod events;
+pub mod metrics;
+pub mod registry;
+
+pub use events::{Event, EventKind, EventLog};
+pub use metrics::{Counter, Gauge, Histogram, SpanTimer, Stopwatch};
+pub use registry::{
+    CounterSnapshot, GaugeSnapshot, HistogramSnapshot, MetricsRegistry, Reporter, Snapshot,
+};
+
+/// Whether instrumentation is compiled in (the `enabled` cargo feature).
+///
+/// A `const fn` so `if is_enabled() { … }` guards constant-fold away in
+/// the compiled-out build.
+#[must_use]
+pub const fn is_enabled() -> bool {
+    cfg!(feature = "enabled")
+}

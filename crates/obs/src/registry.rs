@@ -1,0 +1,310 @@
+//! The metrics registry: named metric handles, point-in-time snapshots,
+//! and the periodic reporter.
+//!
+//! Consumers look a handle up **once** (typically into an
+//! `OnceLock`-cached struct of `Arc`s) and record through the atomics
+//! thereafter — the registry's own locks are never on a hot path.
+
+use crate::events::{EventLog, DEFAULT_EVENT_CAPACITY};
+use crate::metrics::{Counter, Gauge, Histogram};
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A named-metric registry. Use [`MetricsRegistry::global`] for the
+/// process-wide instance, or construct one per component for isolated
+/// tests.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    events: EventLog,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry with the default event-ring capacity.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_event_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// Creates an empty registry whose event ring holds `event_capacity`
+    /// events.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `event_capacity` is zero.
+    #[must_use]
+    pub fn with_event_capacity(event_capacity: usize) -> Self {
+        Self {
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            events: EventLog::new(event_capacity),
+        }
+    }
+
+    /// The process-wide registry.
+    #[must_use]
+    pub fn global() -> &'static MetricsRegistry {
+        static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(MetricsRegistry::new)
+    }
+
+    /// The counter named `name`, created on first use.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut counters = self.counters.lock().expect("registry poisoned");
+        Arc::clone(
+            counters
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// The gauge named `name`, created on first use.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut gauges = self.gauges.lock().expect("registry poisoned");
+        Arc::clone(
+            gauges
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Gauge::new())),
+        )
+    }
+
+    /// The histogram named `name`, created on first use.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut histograms = self.histograms.lock().expect("registry poisoned");
+        Arc::clone(
+            histograms
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// The registry's structured-event ring.
+    #[must_use]
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+
+    /// A point-in-time snapshot of every registered metric, name-sorted.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(name, c)| CounterSnapshot {
+                name: name.clone(),
+                value: c.get(),
+            })
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(name, g)| GaugeSnapshot {
+                name: name.clone(),
+                value: g.get(),
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(name, h)| HistogramSnapshot {
+                name: name.clone(),
+                count: h.count(),
+                sum: h.sum(),
+                mean: h.mean(),
+                max: h.max(),
+                p50: h.quantile(0.50),
+                p90: h.quantile(0.90),
+                p99: h.quantile(0.99),
+            })
+            .collect();
+        Snapshot {
+            enabled: crate::is_enabled(),
+            counters,
+            gauges,
+            histograms,
+            events_buffered: self.events.len() as u64,
+            events_dropped: self.events.dropped(),
+        }
+    }
+}
+
+/// One counter's snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CounterSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: u64,
+}
+
+/// One gauge's snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct GaugeSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: f64,
+}
+
+/// One histogram's snapshot: exact count/sum/max plus interpolated
+/// quantiles (see [`Histogram::quantile`](crate::Histogram::quantile)).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Mean of recorded values.
+    pub mean: f64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Interpolated median.
+    pub p50: f64,
+    /// Interpolated 90th percentile.
+    pub p90: f64,
+    /// Interpolated 99th percentile.
+    pub p99: f64,
+}
+
+/// A point-in-time view of a whole registry, serializable via the serde
+/// shim (this is the `metrics.snapshot` object in the BENCH reports).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Snapshot {
+    /// Whether instrumentation was compiled in when this was taken.
+    pub enabled: bool,
+    /// All counters, name-sorted.
+    pub counters: Vec<CounterSnapshot>,
+    /// All gauges, name-sorted.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// All histograms, name-sorted.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// Events sitting in the ring at snapshot time.
+    pub events_buffered: u64,
+    /// Events dropped by the ring bound so far.
+    pub events_dropped: u64,
+}
+
+impl Snapshot {
+    /// The counter named `name`, if present.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<&CounterSnapshot> {
+        self.counters.iter().find(|c| c.name == name)
+    }
+
+    /// The gauge named `name`, if present.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<&GaugeSnapshot> {
+        self.gauges.iter().find(|g| g.name == name)
+    }
+
+    /// The histogram named `name`, if present.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+/// Drives periodic snapshots off a caller-supplied clock (the simulators
+/// run on traffic time, not wall time, so the reporter does too).
+#[derive(Debug)]
+pub struct Reporter {
+    period: i64,
+    last: Option<i64>,
+}
+
+impl Reporter {
+    /// Creates a reporter snapshotting every `period` clock units.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `period` is not positive.
+    #[must_use]
+    pub fn new(period: i64) -> Self {
+        assert!(period > 0, "reporter period must be positive");
+        Self { period, last: None }
+    }
+
+    /// Takes a snapshot when `now` is at least a period past the last
+    /// one (the first tick always reports).
+    pub fn tick(&mut self, registry: &MetricsRegistry, now: i64) -> Option<Snapshot> {
+        match self.last {
+            Some(last) if now - last < self.period => None,
+            _ => {
+                self.last = Some(now);
+                Some(registry.snapshot())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::EventKind;
+
+    #[test]
+    fn handles_are_shared_and_snapshot_is_name_sorted() {
+        let registry = MetricsRegistry::new();
+        registry.counter("b.second").add(2);
+        registry.counter("a.first").inc();
+        // The same name returns the same underlying atomic.
+        registry.counter("b.second").add(3);
+        registry.gauge("g.level").set(7.5);
+        registry.histogram("h.lat_ns").record(1_000);
+        let snapshot = registry.snapshot();
+        let names: Vec<&str> = snapshot.counters.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["a.first", "b.second"]);
+        assert_eq!(snapshot.counter("b.second").unwrap().value, 5);
+        assert_eq!(snapshot.gauge("g.level").unwrap().value, 7.5);
+        let h = snapshot.histogram("h.lat_ns").unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.max, 1_000);
+        assert!(h.p50 >= 937.5 && h.p50 <= 1_062.5, "p50 {} off", h.p50);
+    }
+
+    #[test]
+    fn snapshot_serializes_via_the_shim() {
+        let registry = MetricsRegistry::new();
+        registry.counter("serving.predictions").add(10);
+        registry
+            .events()
+            .record(1, EventKind::BudgetExhausted, "", 0.0);
+        let json = serde_json::to_string(&registry.snapshot()).unwrap();
+        assert!(json.contains("\"serving.predictions\""));
+        assert!(json.contains("\"events_buffered\":1"));
+        assert!(json.contains("\"enabled\":true"));
+    }
+
+    #[test]
+    fn reporter_fires_once_per_period() {
+        let registry = MetricsRegistry::new();
+        let mut reporter = Reporter::new(10);
+        assert!(reporter.tick(&registry, 0).is_some(), "first tick reports");
+        assert!(reporter.tick(&registry, 5).is_none());
+        assert!(reporter.tick(&registry, 9).is_none());
+        assert!(reporter.tick(&registry, 10).is_some());
+        assert!(reporter.tick(&registry, 11).is_none());
+        assert!(reporter.tick(&registry, 25).is_some());
+    }
+}

@@ -57,6 +57,23 @@ impl Activity {
             Activity::Mpu => 2,
         }
     }
+
+    /// A lowercase identifier suitable for metric names and JSON keys.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pp_precompute::Activity;
+    ///
+    /// assert_eq!(Activity::MobileTab.slug(), "mobile_tab");
+    /// ```
+    pub fn slug(self) -> &'static str {
+        match self {
+            Activity::MobileTab => "mobile_tab",
+            Activity::Timeshift => "timeshift",
+            Activity::Mpu => "mpu",
+        }
+    }
 }
 
 impl From<DatasetKind> for Activity {

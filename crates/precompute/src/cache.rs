@@ -13,6 +13,11 @@ use pp_data::schema::UserId;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 
+/// Every time cumulative LRU evictions cross another multiple of this
+/// stride, one `EvictionStorm` event is emitted — a bounded-rate signal
+/// that inserts are displacing live payloads.
+pub const EVICTION_STORM_STRIDE: u64 = 64;
+
 /// Cache sizing and freshness configuration.
 ///
 /// # Examples
@@ -242,6 +247,8 @@ impl PrefetchCache {
     /// payload that had already expired counts as an expiration, not an LRU
     /// eviction — it was dead before the capacity bound touched it.
     pub fn insert(&self, user: UserId, payload: Bytes, now: i64) {
+        let obs = crate::obs::PrecomputeObs::global();
+        let op = pp_obs::Stopwatch::start();
         let shard = &self.shards[self.shard_index(user)];
         let effects = shard.lock().insert(
             user.0,
@@ -255,8 +262,27 @@ impl PrefetchCache {
         if effects.replaced {
             stats.replacements += 1;
         }
+        let evictions_before = stats.lru_evictions;
         stats.lru_evictions += effects.lru_evicted;
         stats.expirations += effects.expired;
+        obs.cache_evicted.add(effects.lru_evicted);
+        obs.cache_expired.add(effects.expired);
+        // An eviction storm: cumulative LRU evictions crossed another
+        // multiple of the storm stride — inserts are displacing live
+        // payloads faster than sessions consume them.
+        if pp_obs::is_enabled()
+            && stats.lru_evictions / EVICTION_STORM_STRIDE
+                > evictions_before / EVICTION_STORM_STRIDE
+        {
+            pp_obs::MetricsRegistry::global().events().record(
+                now,
+                pp_obs::EventKind::EvictionStorm,
+                "prefetch_cache",
+                stats.lru_evictions as f64,
+            );
+        }
+        drop(stats);
+        op.record(&obs.cache_op_ns);
     }
 
     /// Reads the payload held for `user` without consuming it. A fresh
@@ -281,46 +307,62 @@ impl PrefetchCache {
     /// assert!(cache.get(UserId(9), 40).is_none());
     /// ```
     pub fn get(&self, user: UserId, now: i64) -> Option<Bytes> {
+        let obs = crate::obs::PrecomputeObs::global();
+        let op = pp_obs::Stopwatch::start();
         let shard = &self.shards[self.shard_index(user)];
         let result = shard.lock().get(user.0, now);
         let mut stats = self.stats.lock();
-        match result {
+        let payload = match result {
             GetResult::Fresh(payload) => {
                 stats.hits += 1;
+                obs.cache_hits.inc();
                 Some(payload)
             }
             GetResult::Expired => {
                 stats.expirations += 1;
+                obs.cache_expired.inc();
                 None
             }
             GetResult::Miss => {
                 stats.misses += 1;
+                obs.cache_misses.inc();
                 None
             }
-        }
+        };
+        drop(stats);
+        op.record(&obs.cache_op_ns);
+        payload
     }
 
     /// Consumes the payload held for `user`, if it is still fresh at `now`.
     /// An expired payload is dropped and reported as `None` — serving stale
     /// precomputed data would be worse than recomputing.
     pub fn take(&self, user: UserId, now: i64) -> Option<Bytes> {
+        let obs = crate::obs::PrecomputeObs::global();
+        let op = pp_obs::Stopwatch::start();
         let shard = &self.shards[self.shard_index(user)];
         let entry = shard.lock().take(user.0);
         let mut stats = self.stats.lock();
-        match entry {
+        let payload = match entry {
             Some(entry) if entry.expires_at > now => {
                 stats.hits += 1;
+                obs.cache_hits.inc();
                 Some(entry.payload)
             }
             Some(_) => {
                 stats.expirations += 1;
+                obs.cache_expired.inc();
                 None
             }
             None => {
                 stats.misses += 1;
+                obs.cache_misses.inc();
                 None
             }
-        }
+        };
+        drop(stats);
+        op.record(&obs.cache_op_ns);
+        payload
     }
 
     /// Drops every payload already expired at `now`, returning how many

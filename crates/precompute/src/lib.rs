@@ -36,6 +36,9 @@
 //!   emits live precision / recall / waste per activity, and retains
 //!   drainable ([`ResolvedSample`]) (score, label) pairs per activity for
 //!   recalibration;
+//! * [`obs`] — cached `pp-obs` handles instrumenting admission, the token
+//!   bucket, the prefetch cache, and the per-activity precision/threshold
+//!   trajectories (compiled to no-ops without the `obs` feature);
 //! * [`adaptive`] — the [`AdaptiveThresholdController`]: nudges the
 //!   decision threshold online, window by window, to hold the target
 //!   precision as traffic drifts;
@@ -58,6 +61,7 @@ pub mod activity;
 pub mod adaptive;
 pub mod cache;
 pub mod decision;
+pub mod obs;
 pub mod outcome;
 pub mod scheduler;
 pub mod system;
@@ -66,6 +70,7 @@ pub use activity::{jain_index, Activity, ActivityMap};
 pub use adaptive::{AdaptiveThresholdController, ControllerConfig, WindowSnapshot};
 pub use cache::{CacheConfig, CacheStats, PrefetchCache};
 pub use decision::{Action, Decision, DecisionEngine, DecisionStats};
+pub use obs::PrecomputeObs;
 pub use outcome::{Outcome, OutcomeCounts, OutcomeTracker, ResolvedSample, MAX_RETAINED_SAMPLES};
 pub use scheduler::{
     prefetch_cost_units, ActivityBudgetStats, AdmissionOrder, AdmitResult, BudgetConfig,

@@ -169,8 +169,13 @@ pub enum FairnessPolicy {
     /// per-wave fixed point (weighted max-min / water-filling over the
     /// available tokens), so a synchronized wave is split across
     /// activities in proportion to their weights *in cost units* instead
-    /// of first-come-first-served. Credit is per-wave; the bucket itself
-    /// stays one greedy shared pool. Weights must be positive.
+    /// of first-come-first-served. Unspent credit of an activity that
+    /// still had candidates **persists as deficit into the next wave**
+    /// (classic DRR), so an expensive activity whose per-wave fair share
+    /// cannot cover one prefetch accumulates credit across waves and
+    /// catches up instead of starving; an activity whose queue drains
+    /// donates its surplus back. The bucket itself stays one greedy
+    /// shared pool. Weights must be positive.
     DeficitRoundRobin {
         /// Relative budget weight per activity (all `> 0`).
         weights: ActivityMap<f64>,
@@ -367,6 +372,14 @@ pub struct PrefetchScheduler {
     /// Clock ticks per second of traffic time (1.0 = a seconds clock).
     ticks_per_sec: f64,
     inflight: usize,
+    /// Inflight prefetches per activity (always sums to `inflight`).
+    inflight_by_activity: ActivityMap<usize>,
+    /// Per-activity inflight caps, checked after the global cap
+    /// (`usize::MAX` = uncapped, the default).
+    inflight_caps: ActivityMap<usize>,
+    /// Unspent deficit-round-robin credit carried across waves, per
+    /// activity (zero for other fairness policies).
+    drr_deficit: ActivityMap<f64>,
     stats: SchedulerBudgetStats,
     by_activity: ActivityMap<ActivityBudgetStats>,
 }
@@ -439,6 +452,9 @@ impl PrefetchScheduler {
             refilled_at: None,
             ticks_per_sec: 1.0,
             inflight: 0,
+            inflight_by_activity: ActivityMap::uniform(0),
+            inflight_caps: ActivityMap::uniform(usize::MAX),
+            drr_deficit: ActivityMap::uniform(0.0),
             stats: SchedulerBudgetStats {
                 units_offered: config.capacity_units,
                 ..SchedulerBudgetStats::default()
@@ -504,6 +520,38 @@ impl PrefetchScheduler {
     /// Prefetches admitted but not yet resolved.
     pub fn inflight(&self) -> usize {
         self.inflight
+    }
+
+    /// Prefetches admitted for `activity` but not yet resolved.
+    pub fn inflight_for(&self, activity: Activity) -> usize {
+        self.inflight_by_activity[activity]
+    }
+
+    /// `activity`'s inflight cap (`usize::MAX` when uncapped).
+    pub fn max_inflight_for(&self, activity: Activity) -> usize {
+        self.inflight_caps[activity]
+    }
+
+    /// Caps how many of `activity`'s prefetches may be inflight at once,
+    /// on top of the global `max_inflight`. The default (`usize::MAX`)
+    /// leaves only the global cap — today's behavior. Lowering a cap below
+    /// the activity's current inflight count only affects *new*
+    /// admissions; already-inflight prefetches drain normally.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cap` is zero (a zero cap would silently disable the
+    /// activity; configure its policy or weights instead).
+    pub fn set_max_inflight_for(&mut self, activity: Activity, cap: usize) {
+        assert!(cap > 0, "per-activity inflight cap must be positive");
+        self.inflight_caps[activity] = cap;
+    }
+
+    /// Unspent [`FairnessPolicy::DeficitRoundRobin`] credit carried for
+    /// `activity` from earlier waves (zero under other policies, and for
+    /// activities whose queues drained).
+    pub fn drr_deficit(&self, activity: Activity) -> f64 {
+        self.drr_deficit[activity]
     }
 
     /// Counters accumulated so far, across all activities.
@@ -597,14 +645,17 @@ impl PrefetchScheduler {
 
     /// Attempts to admit one prefetch for `activity` at traffic time `now`
     /// (seconds). Refills the bucket for the elapsed time first, then
-    /// checks the inflight cap and the funds this activity may draw on (the
-    /// common pool plus its own reserve). On admission the activity's cost
-    /// is deducted — common pool first, reserve for the remainder — and one
-    /// inflight slot is taken; pair with
-    /// [`PrefetchScheduler::complete_one`] when the prefetch resolves.
+    /// checks the inflight caps (global, then this activity's) and the
+    /// funds this activity may draw on (the common pool plus its own
+    /// reserve). On admission the activity's cost is deducted — common
+    /// pool first, reserve for the remainder — and one inflight slot is
+    /// taken; pair with [`PrefetchScheduler::complete_one_for`] when the
+    /// prefetch resolves.
     pub fn try_admit_for(&mut self, activity: Activity, now: i64) -> AdmitResult {
         self.refill(now);
-        if self.inflight >= self.config.max_inflight {
+        if self.inflight >= self.config.max_inflight
+            || self.inflight_by_activity[activity] >= self.inflight_caps[activity]
+        {
             self.stats.denied_inflight += 1;
             self.by_activity[activity].denied_inflight += 1;
             return AdmitResult::DeniedInflight;
@@ -619,6 +670,7 @@ impl PrefetchScheduler {
         self.tokens -= from_pool;
         self.reserved[activity] -= cost - from_pool;
         self.inflight += 1;
+        self.inflight_by_activity[activity] += 1;
         self.stats.admitted += 1;
         self.stats.units_spent += cost;
         self.stats.max_inflight_seen = self.stats.max_inflight_seen.max(self.inflight);
@@ -720,9 +772,30 @@ impl PrefetchScheduler {
                 // cannot cover even a single prefetch leaves its credit in
                 // the pool rather than spending it. Computing that fixed
                 // point directly keeps the loop deterministic and O(waves).
+                //
+                // Deficits persist across waves: credit an activity could
+                // not spend last wave (because one prefetch costs more than
+                // its share) is honored *first* out of this wave's tokens,
+                // and only the remainder is re-split — so a starved
+                // expensive activity accumulates toward its cost over
+                // successive waves instead of resetting to the same
+                // too-small share every time.
                 self.refill(now);
                 let demand = ActivityMap::from_fn(|a| queues[a].len() as f64 * self.costs[a]);
-                let mut credit = weighted_water_fill(&demand, &weights, self.tokens);
+                // A deficit is only worth what its activity can still use.
+                let effective = ActivityMap::from_fn(|a| self.drr_deficit[a].min(demand[a]));
+                let carried: f64 = effective.values().sum();
+                let mut credit = if carried <= self.tokens {
+                    let fresh_demand =
+                        ActivityMap::from_fn(|a| (demand[a] - effective[a]).max(0.0));
+                    let fresh = weighted_water_fill(&fresh_demand, &weights, self.tokens - carried);
+                    ActivityMap::from_fn(|a| effective[a] + fresh[a])
+                } else {
+                    // Not enough tokens to honor every carried deficit
+                    // (possible when direct try_admit_for calls drained the
+                    // pool between waves): scale them down pro rata.
+                    effective.map(|_, &d| d * (self.tokens / carried))
+                };
                 // Drain the queues interleaved, one candidate per activity
                 // per round, heaviest weight first — budget fairness comes
                 // from the credit shares, but the *inflight slots* are a
@@ -736,6 +809,7 @@ impl PrefetchScheduler {
                         .partial_cmp(&weights[a])
                         .expect("weights are validated finite")
                 });
+                let mut starved = ActivityMap::uniform(false);
                 loop {
                     let mut any = false;
                     for &a in &rotation {
@@ -748,6 +822,8 @@ impl PrefetchScheduler {
                             results[index] = result;
                             if result == AdmitResult::Admitted {
                                 credit[a] -= self.costs[a];
+                            } else if result == AdmitResult::DeniedBudget {
+                                starved[a] = true;
                             }
                         } else {
                             // Out of fair-share credit: the tokens still in
@@ -756,12 +832,25 @@ impl PrefetchScheduler {
                             results[index] = AdmitResult::DeniedBudget;
                             self.stats.denied_budget += 1;
                             self.by_activity[a].denied_budget += 1;
+                            starved[a] = true;
                         }
                         queues[a].pop_front();
                     }
                     if !any {
                         break;
                     }
+                }
+                // Bank unspent credit as next wave's deficit for every
+                // activity the budget turned away this wave; an activity
+                // whose candidates were all served (or that had none)
+                // donates its surplus back to the pool. Capped at one
+                // bucket so a long drought cannot bank unbounded claims.
+                for a in Activity::ALL {
+                    self.drr_deficit[a] = if starved[a] {
+                        credit[a].max(0.0).min(self.config.capacity_units)
+                    } else {
+                        0.0
+                    };
                 }
             }
             FairnessPolicy::Greedy | FairnessPolicy::GuaranteedShare { .. } => {
@@ -773,9 +862,21 @@ impl PrefetchScheduler {
         results
     }
 
-    /// Releases one inflight slot (an admitted prefetch resolved).
+    /// Releases one inflight slot on the default activity
+    /// ([`Activity::MobileTab`]) — the single-activity path. See
+    /// [`PrefetchScheduler::complete_one_for`].
     pub fn complete_one(&mut self) {
-        self.inflight = self.inflight.saturating_sub(1);
+        self.complete_one_for(Activity::MobileTab);
+    }
+
+    /// Releases one of `activity`'s inflight slots (an admitted prefetch
+    /// resolved). A completion with nothing inflight for that activity is
+    /// ignored, keeping the global and per-activity books consistent.
+    pub fn complete_one_for(&mut self, activity: Activity) {
+        if self.inflight_by_activity[activity] > 0 {
+            self.inflight_by_activity[activity] -= 1;
+            self.inflight -= 1;
+        }
     }
 
     /// Checks the budget invariants, returning a description of the first
@@ -833,6 +934,20 @@ impl PrefetchScheduler {
                 "inflight {} exceeds cap {}",
                 self.inflight, self.config.max_inflight
             ));
+        }
+        let inflight_by_activity: usize = self.inflight_by_activity.values().sum();
+        if inflight_by_activity != self.inflight {
+            return Err(format!(
+                "per-activity inflight ({inflight_by_activity}) does not sum to the total ({})",
+                self.inflight
+            ));
+        }
+        for (activity, &deficit) in self.drr_deficit.iter() {
+            if !deficit.is_finite() || deficit < 0.0 || deficit > self.config.capacity_units + eps {
+                return Err(format!(
+                    "{activity} DRR deficit {deficit} outside [0, capacity]"
+                ));
+            }
         }
         Ok(())
     }
@@ -1278,6 +1393,123 @@ mod tests {
     }
 
     #[test]
+    fn deficit_round_robin_deficits_accumulate_until_a_starved_activity_catches_up() {
+        // A 60-unit bucket refilling 10 units/s; every second a wave of
+        // eight cheap MobileTab candidates (10 units each) plus one
+        // expensive MPU candidate (40 units), equal weights. MPU's
+        // per-wave fair share never covers one prefetch, so per-wave
+        // credit reset starved it forever; persistent deficits let it
+        // accumulate its share across waves and admit periodically.
+        let (config, costs) = shared_config(60.0, 10.0);
+        let mut s = PrefetchScheduler::shared(
+            config,
+            costs,
+            FairnessPolicy::DeficitRoundRobin {
+                weights: ActivityMap::uniform(1.0),
+            },
+        );
+        let mut mpu_admitted = 0u64;
+        let mut mobile_admitted = 0u64;
+        for now in 0..12i64 {
+            let mut wave: Vec<(Activity, f64)> = vec![(Activity::MobileTab, 0.9); 8];
+            wave.push((Activity::Mpu, 0.8));
+            let results = s.admit_wave_tagged(now, &wave, AdmissionOrder::Fifo);
+            for (&(activity, _), result) in wave.iter().zip(&results) {
+                if *result == AdmitResult::Admitted {
+                    s.complete_one_for(activity);
+                    match activity {
+                        Activity::Mpu => mpu_admitted += 1,
+                        _ => mobile_admitted += 1,
+                    }
+                }
+            }
+            s.check_invariants().unwrap();
+            assert!(
+                s.drr_deficit(Activity::Mpu) <= config.capacity_units,
+                "deficit must stay bounded"
+            );
+        }
+        assert!(
+            mpu_admitted >= 2,
+            "starved MPU must catch up over successive waves, admitted {mpu_admitted}"
+        );
+        assert!(
+            mobile_admitted > mpu_admitted,
+            "MobileTab keeps the majority share ({mobile_admitted} vs {mpu_admitted})"
+        );
+    }
+
+    #[test]
+    fn drained_queues_donate_their_deficit_back() {
+        // MPU banks a deficit while starved, then stops showing up: the
+        // next wave it sits out must clear its claim so the others get
+        // the whole bucket again.
+        let (config, costs) = shared_config(60.0, 10.0);
+        let mut s = PrefetchScheduler::shared(
+            config,
+            costs,
+            FairnessPolicy::DeficitRoundRobin {
+                weights: ActivityMap::uniform(1.0),
+            },
+        );
+        let mut wave: Vec<(Activity, f64)> = vec![(Activity::MobileTab, 0.9); 8];
+        wave.push((Activity::Mpu, 0.8));
+        s.admit_wave_tagged(0, &wave, AdmissionOrder::Fifo);
+        assert!(
+            s.drr_deficit(Activity::Mpu) > 0.0,
+            "starved MPU banks a deficit"
+        );
+        // MPU absent: its deficit is donated, not hoarded.
+        let mobile_only: Vec<(Activity, f64)> = vec![(Activity::MobileTab, 0.9); 8];
+        s.admit_wave_tagged(1, &mobile_only, AdmissionOrder::Fifo);
+        assert_eq!(s.drr_deficit(Activity::Mpu), 0.0);
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn per_activity_inflight_cap_binds_only_its_activity() {
+        let (config, costs) = shared_config(1_000.0, 0.0);
+        let mut s = PrefetchScheduler::shared(config, costs, FairnessPolicy::Greedy);
+        s.set_max_inflight_for(Activity::Timeshift, 2);
+        assert_eq!(s.max_inflight_for(Activity::Timeshift), 2);
+        assert_eq!(s.max_inflight_for(Activity::MobileTab), usize::MAX);
+        for _ in 0..2 {
+            assert_eq!(
+                s.try_admit_for(Activity::Timeshift, 0),
+                AdmitResult::Admitted
+            );
+        }
+        // Timeshift is at its cap; the others are untouched.
+        assert_eq!(
+            s.try_admit_for(Activity::Timeshift, 0),
+            AdmitResult::DeniedInflight
+        );
+        assert_eq!(
+            s.try_admit_for(Activity::MobileTab, 0),
+            AdmitResult::Admitted
+        );
+        assert_eq!(s.inflight_for(Activity::Timeshift), 2);
+        assert_eq!(s.inflight(), 3);
+        assert_eq!(s.activity_stats(Activity::Timeshift).denied_inflight, 1);
+        s.check_invariants().unwrap();
+        // Completing a Timeshift prefetch frees its slot.
+        s.complete_one_for(Activity::Timeshift);
+        assert_eq!(
+            s.try_admit_for(Activity::Timeshift, 0),
+            AdmitResult::Admitted
+        );
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "per-activity inflight cap must be positive")]
+    fn zero_per_activity_cap_panics() {
+        let (config, costs) = shared_config(100.0, 0.0);
+        let mut s = PrefetchScheduler::shared(config, costs, FairnessPolicy::Greedy);
+        s.set_max_inflight_for(Activity::Mpu, 0);
+    }
+
+    #[test]
     fn deficit_round_robin_respects_admission_order_within_an_activity() {
         let (config, costs) = shared_config(40.0, 0.0);
         let mut s = PrefetchScheduler::shared(
@@ -1455,7 +1687,7 @@ mod tests {
                 // Release half the admitted slots to keep inflight moving.
                 for (i, r) in results.iter().enumerate() {
                     if *r == AdmitResult::Admitted && i % 2 == 0 {
-                        s.complete_one();
+                        s.complete_one_for(candidates[i].0);
                     }
                 }
                 prop_assert!(
@@ -1508,7 +1740,7 @@ mod tests {
                 // for MPU) and MPU asks once.
                 now += 10;
                 if s.try_admit_for(Activity::Mpu, now) == AdmitResult::Admitted {
-                    s.complete_one();
+                    s.complete_one_for(Activity::Mpu);
                     mpu_admitted += 1;
                 }
                 prop_assert!(s.check_invariants().is_ok());

@@ -192,6 +192,12 @@ pub struct PrecomputeSystem {
     recalibrations: ActivityMap<u64>,
     recalibration_holds: ActivityMap<u64>,
     payload_bytes: usize,
+    /// Whether the last admission pass with candidates hit a budget denial
+    /// — the edge into exhaustion emits one `BudgetExhausted` event.
+    budget_was_exhausted: bool,
+    /// Latest traffic time seen — timestamps recalibration events, whose
+    /// entry point ([`PrecomputeSystem::on_window_resolved`]) has no clock.
+    clock: i64,
 }
 
 impl PrecomputeSystem {
@@ -243,6 +249,8 @@ impl PrecomputeSystem {
             recalibrations: ActivityMap::uniform(0),
             recalibration_holds: ActivityMap::uniform(0),
             payload_bytes: config.payload_bytes,
+            budget_was_exhausted: false,
+            clock: 0,
         }
     }
 
@@ -308,6 +316,7 @@ impl PrecomputeSystem {
         predictions: &[(Activity, Prediction)],
         now: i64,
     ) -> Vec<Decision> {
+        self.clock = self.clock.max(now);
         let mut decisions = Vec::with_capacity(predictions.len());
         for (activity, prediction) in predictions {
             if self.tracker.pending_decision(prediction.user_id).is_some() {
@@ -329,12 +338,21 @@ impl PrecomputeSystem {
             .iter()
             .map(|&i| (decisions[i].activity, decisions[i].probability))
             .collect();
+        let obs = crate::obs::PrecomputeObs::global();
+        let admitting = pp_obs::Stopwatch::start();
         let admissions = self
             .scheduler
             .admit_wave_tagged(now, &tagged, self.admission);
+        admitting.record(&obs.admission_ns);
+        if !candidates.is_empty() {
+            obs.wave_size.record(candidates.len() as u64);
+        }
+        let mut denied_budget = false;
         for (&i, admission) in candidates.iter().zip(&admissions) {
+            let activity = decisions[i].activity;
             match admission {
                 AdmitResult::Admitted => {
+                    obs.admitted[activity].inc();
                     self.cache.insert(
                         decisions[i].user_id,
                         Bytes::from(vec![0u8; self.payload_bytes]),
@@ -342,9 +360,23 @@ impl PrecomputeSystem {
                     );
                 }
                 AdmitResult::DeniedBudget | AdmitResult::DeniedInflight => {
+                    obs.denied[activity].inc();
+                    denied_budget |= *admission == AdmitResult::DeniedBudget;
                     decisions[i].action = Action::Denied;
                 }
             }
+        }
+        obs.bucket_level_units.set(self.scheduler.tokens());
+        if !candidates.is_empty() {
+            if denied_budget && !self.budget_was_exhausted {
+                pp_obs::MetricsRegistry::global().events().record(
+                    now,
+                    pp_obs::EventKind::BudgetExhausted,
+                    "shared_bucket",
+                    self.scheduler.tokens(),
+                );
+            }
+            self.budget_was_exhausted = denied_budget;
         }
         for decision in &decisions {
             self.tracker.record(*decision);
@@ -358,11 +390,12 @@ impl PrecomputeSystem {
     /// budget slot), classifies the outcome, and feeds the adaptive
     /// controller. Returns `None` when the user has no pending decision.
     pub fn resolve_session(&mut self, user: UserId, now: i64, accessed: bool) -> Option<Outcome> {
+        self.clock = self.clock.max(now);
         let decision = self.tracker.pending_decision(user)?;
         let activity = decision.activity;
         let payload_served = if decision.action == Action::Prefetch {
             let payload = self.cache.take(user, now);
-            self.scheduler.complete_one();
+            self.scheduler.complete_one_for(activity);
             payload.is_some()
         } else {
             false
@@ -372,8 +405,28 @@ impl PrecomputeSystem {
             .resolve(user, accessed, payload_served)
             .expect("pending decision just observed");
         let controller = &mut self.controllers[activity];
-        if controller.observe(outcome).is_some() {
+        if let Some(window) = controller.observe(outcome) {
             self.engine.set_policy_for(activity, controller.policy());
+            let obs = crate::obs::PrecomputeObs::global();
+            obs.window_precision[activity].set(window.observed_precision);
+            obs.threshold[activity].set(window.threshold_after);
+            if pp_obs::is_enabled() {
+                let events = pp_obs::MetricsRegistry::global().events();
+                events.record(
+                    now,
+                    pp_obs::EventKind::WindowClosed,
+                    activity.slug(),
+                    window.observed_precision,
+                );
+                if window.threshold_after != window.threshold_before {
+                    events.record(
+                        now,
+                        pp_obs::EventKind::ThresholdMove,
+                        activity.slug(),
+                        window.threshold_after,
+                    );
+                }
+            }
             if self.recalibrate_from_outcomes {
                 self.on_window_resolved(activity);
             }
@@ -412,10 +465,24 @@ impl PrecomputeSystem {
                 controller.set_threshold(refit.threshold());
                 self.engine.set_policy_for(activity, controller.policy());
                 self.recalibrations[activity] += 1;
-                Some(controller.threshold())
+                let threshold = controller.threshold();
+                crate::obs::PrecomputeObs::global().threshold[activity].set(threshold);
+                pp_obs::MetricsRegistry::global().events().record(
+                    self.clock,
+                    pp_obs::EventKind::Recalibration,
+                    activity.slug(),
+                    threshold,
+                );
+                Some(threshold)
             }
             None => {
                 self.recalibration_holds[activity] += 1;
+                pp_obs::MetricsRegistry::global().events().record(
+                    self.clock,
+                    pp_obs::EventKind::RecalibrationHold,
+                    activity.slug(),
+                    scores.len() as f64,
+                );
                 None
             }
         }

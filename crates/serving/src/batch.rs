@@ -304,6 +304,9 @@ fn predict_chunk(
     store: &ShardedStateStore,
     chunk: &[PredictRequest],
 ) -> Vec<Prediction> {
+    let obs = crate::obs::ServingObs::global();
+    obs.batch_size.record(chunk.len() as u64);
+    let assembly = pp_obs::Stopwatch::start();
     let states: Vec<Vec<f32>> = chunk
         .iter()
         .map(|r| {
@@ -320,11 +323,14 @@ fn predict_chunk(
                 .predict_input(r.timestamp, &r.context, r.elapsed_secs)
         })
         .collect();
+    assembly.record(&obs.batch_assembly_ns);
+    let forward = pp_obs::Stopwatch::start();
     let probabilities = if chunk.len() == 1 {
         vec![model.predict_proba(&states[0], &inputs[0])]
     } else {
         model.predict_proba_batch(&states, &inputs)
     };
+    forward.record(&obs.forward_pass_ns);
     chunk
         .iter()
         .zip(probabilities)
@@ -451,6 +457,9 @@ impl BatchServingEngine {
         {
             let mut queue = self.shared.queue.lock().expect("engine queue");
             queue.push_back(Job { request, reply });
+            crate::obs::ServingObs::global()
+                .queue_depth
+                .set(queue.len() as f64);
         }
         self.shared.available.notify_one();
         receiver
@@ -469,6 +478,9 @@ impl BatchServingEngine {
                 queue.push_back(Job { request, reply });
                 receivers.push(receiver);
             }
+            crate::obs::ServingObs::global()
+                .queue_depth
+                .set(queue.len() as f64);
         }
         self.shared.available.notify_all();
         receivers
@@ -518,6 +530,7 @@ impl Drop for BatchServingEngine {
 }
 
 fn worker_loop(shared: &EngineShared) {
+    let obs = crate::obs::ServingObs::global();
     loop {
         let jobs: Vec<Job> = {
             let mut queue = shared.queue.lock().expect("engine queue");
@@ -534,6 +547,7 @@ fn worker_loop(shared: &EngineShared) {
                 // is there. Other workers may drain the queue while we wait,
                 // so re-check emptiness afterwards.
                 if let Some(wait) = shared.coalesce_wait {
+                    let held = pp_obs::Stopwatch::start();
                     let deadline = std::time::Instant::now() + wait;
                     while queue.len() < shared.max_batch
                         && !queue.is_empty()
@@ -558,9 +572,12 @@ fn worker_loop(shared: &EngineShared) {
                     if queue.is_empty() {
                         continue;
                     }
+                    held.record(&obs.coalesce_wait_ns);
                 }
                 let take = queue.len().min(shared.max_batch);
-                break queue.drain(..take).collect();
+                let jobs: Vec<Job> = queue.drain(..take).collect();
+                obs.queue_depth.set(queue.len() as f64);
+                break jobs;
             }
         };
 

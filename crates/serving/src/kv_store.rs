@@ -141,6 +141,9 @@ impl KvStore {
             }
             if evicted > 0 {
                 self.stats.write().evictions += evicted;
+                crate::obs::ServingObs::global()
+                    .store_evictions
+                    .add(evicted);
             }
         }
     }

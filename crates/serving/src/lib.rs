@@ -22,7 +22,10 @@
 //!   concurrently;
 //! * [`batch`] — the [`BatchScheduler`] and multi-threaded
 //!   [`BatchServingEngine`] coalescing concurrent session starts into
-//!   batched forward passes (one matmul per batch instead of per user).
+//!   batched forward passes (one matmul per batch instead of per user);
+//! * [`obs`] — cached `pp-obs` handles instrumenting the batch queue, the
+//!   per-stage serving latencies, and the hidden-state store traffic
+//!   (compiled to no-ops without the `obs` feature).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -30,6 +33,7 @@
 pub mod batch;
 pub mod cost;
 pub mod kv_store;
+pub mod obs;
 pub mod online;
 pub mod pipeline;
 pub mod sharded;
@@ -42,6 +46,7 @@ pub use cost::{
     baseline_profile, compare, rnn_profile, CostComparison, CostWeights, ServingProfile,
 };
 pub use kv_store::{decode_state_f32, encode_state_f32, KvStore, QuantizedState, StoreStats};
+pub use obs::ServingObs;
 pub use online::{daily_metrics, run_online_comparison, DailyMetric, OnlineComparison};
 pub use pipeline::{ServingOutcome, ServingPipeline};
 pub use sharded::ShardedStateStore;

@@ -94,13 +94,20 @@ impl ShardedStateStore {
 
     /// Fetches a user's hidden state, if one is stored.
     pub fn get_state(&self, user: UserId) -> Option<Vec<f32>> {
-        self.shards[self.shard_index(user)]
+        let obs = crate::obs::ServingObs::global();
+        obs.store_reads.inc();
+        let state = self.shards[self.shard_index(user)]
             .get(&Self::key(user))
-            .map(|bytes| decode_state_f32(&bytes))
+            .map(|bytes| decode_state_f32(&bytes));
+        if state.is_some() {
+            obs.store_hits.inc();
+        }
+        state
     }
 
     /// Stores a user's hidden state, replacing any previous one.
     pub fn put_state(&self, user: UserId, state: &[f32]) {
+        crate::obs::ServingObs::global().store_writes.inc();
         self.shards[self.shard_index(user)].put(Self::key(user), encode_state_f32(state));
     }
 
