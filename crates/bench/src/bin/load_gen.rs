@@ -16,6 +16,21 @@
 //! `PP_REQUIRE_SPEEDUP` (unset → report only; set e.g. `3.0` to exit
 //! non-zero when the batched/single throughput ratio falls short).
 //!
+//! Core-scaling knobs: `PP_WORKER_SWEEP` (`1,2,4` — batched-mode worker
+//! counts swept into the `worker_sweep` block) and
+//! `PP_REQUIRE_WORKER_SCALING` (unset → report only; set e.g. `1.5` to exit
+//! non-zero when 4-worker batched throughput falls below that multiple of
+//! 1-worker throughput; skipped with a loud message on hosts with fewer
+//! than 4 cores, where multi-worker scaling cannot materialize).
+//!
+//! Eviction-study knobs: `PP_POPULATION` (1000000 synthetic users),
+//! `PP_STORE_CAPACITY` (population/10 resident states),
+//! `PP_STUDY_EVENTS` (400000 Zipf-like sessions; `0` skips the study) and
+//! `PP_DRIVEBY` (0.15 — fraction of one-shot drive-by users polluting the
+//! store). The study replays the same stream against a capacity-bounded
+//! store under LRU and frequency-weighted eviction and reports cold-start
+//! regret (re-initialized hidden states per 1k predictions).
+//!
 //! Observability knobs: `PP_OBS_EVENTS` (unset → skip; set to a path to
 //! drain the structured event ring there as JSONL), `PP_OBS_BASELINE`
 //! (path to a `BENCH_serving.json` produced by the instrumentation-free
@@ -51,6 +66,8 @@ struct BenchConfig {
     seed: u64,
     shards: usize,
     workers: usize,
+    /// Cores visible to this process — the ceiling on real worker scaling.
+    cores: usize,
     concurrency: usize,
     max_batch: usize,
     requests: usize,
@@ -78,12 +95,49 @@ struct Speedup {
     p50_latency_ratio: f64,
 }
 
+/// One worker count of the batched-mode core-scaling sweep.
+#[derive(Debug, Clone, Copy, Serialize)]
+struct WorkerSweepEntry {
+    workers: usize,
+    sessions_per_sec: f64,
+    latency_p50_us: f64,
+    latency_p99_us: f64,
+    /// Throughput relative to the 1-worker entry of the same sweep.
+    speedup_vs_1: f64,
+}
+
+/// One eviction policy's outcome over the bounded-store replay.
+#[derive(Debug, Clone, Serialize)]
+struct EvictionPolicyResult {
+    policy: String,
+    predictions: u64,
+    evictions: u64,
+    /// Predictions that found a previously-written hidden state evicted
+    /// and fell back to the initial state.
+    cold_restarts: u64,
+    cold_restarts_per_1k_predictions: f64,
+    store_hit_rate: f64,
+    resident_states: usize,
+}
+
+/// The 1M-user bounded-memory eviction comparison.
+#[derive(Debug, Clone, Serialize)]
+struct EvictionStudy {
+    population: usize,
+    store_capacity: usize,
+    events: usize,
+    driveby_fraction: f64,
+    policies: Vec<EvictionPolicyResult>,
+}
+
 #[derive(Debug, Clone, Serialize)]
 struct BenchReport {
     benchmark: String,
     config: BenchConfig,
     modes: Vec<ModeResult>,
     speedup: Speedup,
+    worker_sweep: Vec<WorkerSweepEntry>,
+    eviction_study: Option<EvictionStudy>,
     metrics: pp_obs::Snapshot,
 }
 
@@ -203,6 +257,138 @@ fn run_mode(
     result
 }
 
+/// SplitMix64 — a tiny deterministic PRNG so the study stream is identical
+/// for every policy without pulling in a generator dependency.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Replays the same synthetic session stream — Zipf-like repeat visitors
+/// from a `population`-user universe plus a fraction of one-shot drive-by
+/// users — against a capacity-bounded store under each eviction policy,
+/// measuring how often a *returning* user finds their hidden state evicted
+/// (a cold restart: the paper's per-user state must be re-initialized and
+/// the prediction quality regresses to cold-start until re-warmed).
+#[allow(clippy::too_many_arguments)]
+fn run_eviction_study(
+    model: &Arc<RnnModel>,
+    population: usize,
+    capacity: usize,
+    events: usize,
+    driveby: f64,
+    shards: usize,
+    workers: usize,
+    max_batch: usize,
+    seed: u64,
+) -> EvictionStudy {
+    use pp_serving::EvictionPolicy;
+    const CHUNK: usize = 1024;
+    let mut policies = Vec::new();
+    for policy in [EvictionPolicy::Lru, EvictionPolicy::FrequencyWeighted] {
+        let store = Arc::new(ShardedStateStore::with_capacity_and_policy(
+            shards, capacity, policy,
+        ));
+        let engine = BatchServingEngine::start(model.clone(), store.clone(), workers, max_batch);
+        let mut rng = seed ^ 0xA076_1D64_78BD_642F;
+        let mut seen = vec![0u64; population.div_ceil(64)];
+        let mut driveby_next = population as u64;
+        let mut cold_restarts = 0u64;
+        let mut predictions = 0u64;
+        let mut remaining = events;
+        let mut tick: i64 = 0;
+        while remaining > 0 {
+            let take = remaining.min(CHUNK);
+            remaining -= take;
+            let mut predicts = Vec::with_capacity(take);
+            let mut updates = Vec::with_capacity(take);
+            let mut in_chunk = std::collections::HashSet::with_capacity(take);
+            for _ in 0..take {
+                tick += 1;
+                let draw = splitmix64(&mut rng);
+                let driveby_draw = (draw >> 40) as f64 / (1u64 << 24) as f64;
+                let user = if driveby_draw < driveby {
+                    // One-shot drive-by user: pure pollution, never returns.
+                    driveby_next += 1;
+                    driveby_next - 1
+                } else {
+                    // Log-uniform rank ≈ Zipf(1): rank 0 is the hottest.
+                    let x = (splitmix64(&mut rng) >> 11) as f64 / (1u64 << 53) as f64;
+                    ((population as f64 + 1.0).powf(x) - 1.0) as u64
+                };
+                let id = pp_data::schema::UserId(user);
+                if (user as usize) < population {
+                    let (word, bit) = (user as usize / 64, user as usize % 64);
+                    let was_seen = seen[word] & (1 << bit) != 0;
+                    // A returning user whose state is gone (and was not
+                    // just re-written earlier in this chunk) predicts from
+                    // the initial state: a cold restart.
+                    if was_seen && !in_chunk.contains(&user) && !store.contains_state(id) {
+                        cold_restarts += 1;
+                    }
+                    seen[word] |= 1 << bit;
+                }
+                in_chunk.insert(user);
+                let context = pp_data::schema::Context::MobileTab {
+                    unread_count: (draw % 9) as u8,
+                    active_tab: pp_data::schema::Tab::ALL
+                        [(draw % pp_data::schema::Tab::ALL.len() as u64) as usize],
+                };
+                predicts.push(PredictRequest {
+                    user_id: id,
+                    timestamp: 100_000 + tick * 13,
+                    context,
+                    elapsed_secs: 3_600,
+                });
+                updates.push(UpdateRequest {
+                    user_id: id,
+                    timestamp: 100_000 + tick * 13,
+                    context,
+                    delta_t_secs: 3_600,
+                    accessed: draw.is_multiple_of(3),
+                });
+            }
+            predictions += predicts.len() as u64;
+            let receivers = engine.submit_many(&predicts);
+            engine.apply_updates_blocking(&updates);
+            for receiver in receivers {
+                receiver.recv().expect("engine reply");
+            }
+        }
+        drop(engine);
+        let stats = store.stats();
+        let result = EvictionPolicyResult {
+            policy: format!("{policy:?}"),
+            predictions,
+            evictions: stats.evictions,
+            cold_restarts,
+            cold_restarts_per_1k_predictions: cold_restarts as f64 * 1_000.0
+                / predictions.max(1) as f64,
+            store_hit_rate: stats.hits as f64 / stats.reads.max(1) as f64,
+            resident_states: store.len(),
+        };
+        println!(
+            "  {:<19} {:>9} evictions   {:>7} cold restarts ({:>6.2} per 1k predictions)   hit rate {:.3}",
+            result.policy,
+            result.evictions,
+            result.cold_restarts,
+            result.cold_restarts_per_1k_predictions,
+            result.store_hit_rate,
+        );
+        policies.push(result);
+    }
+    EvictionStudy {
+        population,
+        store_capacity: capacity,
+        events,
+        driveby_fraction: driveby,
+        policies,
+    }
+}
+
 fn main() {
     let scale = Scale::from_env();
     let cores = std::thread::available_parallelism()
@@ -307,6 +493,7 @@ fn main() {
         seed: scale.seed,
         shards,
         workers,
+        cores,
         concurrency,
         max_batch,
         requests: requests.len(),
@@ -353,7 +540,7 @@ fn main() {
     section("throughput");
     // The host may be a noisy shared VM; take the best of `runs` repetitions
     // per mode (noise only ever subtracts from capacity).
-    let best_of = |mode: &str, batch: usize| -> ModeResult {
+    let best_of = |mode: &str, batch: usize, workers: usize| -> ModeResult {
         (0..runs.max(1))
             .map(|_| {
                 run_mode(
@@ -370,8 +557,8 @@ fn main() {
             .max_by(|a, b| a.sessions_per_sec.total_cmp(&b.sessions_per_sec))
             .expect("at least one run")
     };
-    let single = best_of("single", 1);
-    let batched = best_of("batched", max_batch);
+    let single = best_of("single", 1, workers);
+    let batched = best_of("batched", max_batch, workers);
 
     let speedup = Speedup {
         throughput_ratio: batched.sessions_per_sec / single.sessions_per_sec,
@@ -381,6 +568,43 @@ fn main() {
         "\nbatched/single throughput: {:.2}x   (p50 latency improved {:.2}x)",
         speedup.throughput_ratio, speedup.p50_latency_ratio
     );
+
+    // Core-scaling sweep: batched mode only, one entry per worker count.
+    // On a host with fewer cores than workers the extra workers contend
+    // for the same core and the curve flattens — `config.cores` records
+    // the ceiling so readers can tell scaling limits from engine limits.
+    section("core scaling (batched mode)");
+    let sweep_spec = std::env::var("PP_WORKER_SWEEP").unwrap_or_else(|_| "1,2,4".to_string());
+    let sweep_counts: Vec<usize> = sweep_spec
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.parse()
+                .expect("PP_WORKER_SWEEP entries must be positive integers")
+        })
+        .collect();
+    let mut worker_sweep: Vec<WorkerSweepEntry> = Vec::with_capacity(sweep_counts.len());
+    for &sweep_workers in &sweep_counts {
+        let result = best_of("batched", max_batch, sweep_workers);
+        let base = worker_sweep
+            .iter()
+            .find(|e| e.workers == 1)
+            .map(|e| e.sessions_per_sec)
+            .unwrap_or(result.sessions_per_sec);
+        let entry = WorkerSweepEntry {
+            workers: sweep_workers,
+            sessions_per_sec: result.sessions_per_sec,
+            latency_p50_us: result.latency_p50_us,
+            latency_p99_us: result.latency_p99_us,
+            speedup_vs_1: result.sessions_per_sec / base,
+        };
+        println!(
+            "  {} worker(s): {:>10.0} sessions/s   ({:.2}x vs 1 worker)",
+            entry.workers, entry.sessions_per_sec, entry.speedup_vs_1
+        );
+        worker_sweep.push(entry);
+    }
 
     let metrics = pp_obs::MetricsRegistry::global().snapshot();
     if pp_obs::is_enabled() {
@@ -407,11 +631,42 @@ fn main() {
         println!("wrote {events_path}");
     }
 
+    // Bounded-memory eviction study on a fresh synthetic population. Runs
+    // after the metrics snapshot so its store traffic does not skew the
+    // throughput runs' per-stage numbers.
+    let population: usize = env_or("PP_POPULATION", 1_000_000);
+    let store_capacity: usize = env_or("PP_STORE_CAPACITY", (population / 10).max(shards));
+    let study_events: usize = env_or("PP_STUDY_EVENTS", 400_000);
+    let driveby: f64 = env_or("PP_DRIVEBY", 0.15);
+    let eviction_study = if study_events == 0 {
+        println!("eviction study skipped (PP_STUDY_EVENTS=0)");
+        None
+    } else {
+        section("eviction study: capacity-bounded store under Zipf traffic");
+        println!(
+            "population {population}, capacity {store_capacity} resident states, \
+             {study_events} events, drive-by fraction {driveby:.2}"
+        );
+        Some(run_eviction_study(
+            &model,
+            population,
+            store_capacity,
+            study_events,
+            driveby,
+            shards,
+            workers,
+            max_batch,
+            scale.seed,
+        ))
+    };
+
     let report = BenchReport {
         benchmark: "serving_load_gen".to_string(),
         config,
         modes: vec![single, batched],
         speedup,
+        worker_sweep,
+        eviction_study,
         metrics,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
@@ -433,6 +688,41 @@ fn main() {
                 "OK: batched/single throughput {:.2}x meets required {required:.2}x",
                 report.speedup.throughput_ratio
             );
+        }
+    }
+
+    if let Ok(required) = std::env::var("PP_REQUIRE_WORKER_SCALING") {
+        let required: f64 = required
+            .parse()
+            .expect("PP_REQUIRE_WORKER_SCALING must be a number");
+        if cores < 4 {
+            println!(
+                "SKIP: PP_REQUIRE_WORKER_SCALING needs at least 4 cores and this host exposes \
+                 {cores}; 4 workers sharing {cores} core(s) cannot scale, so the gate is not \
+                 meaningful here"
+            );
+        } else {
+            let one = report.worker_sweep.iter().find(|e| e.workers == 1);
+            let four = report.worker_sweep.iter().find(|e| e.workers == 4);
+            match (one, four) {
+                (Some(one), Some(four)) => {
+                    let ratio = four.sessions_per_sec / one.sessions_per_sec;
+                    if ratio < required {
+                        failures.push(format!(
+                            "4-worker/1-worker throughput {ratio:.2}x below required {required:.2}x"
+                        ));
+                    } else {
+                        println!(
+                            "OK: 4-worker/1-worker throughput {ratio:.2}x meets required \
+                             {required:.2}x"
+                        );
+                    }
+                }
+                _ => failures.push(
+                    "PP_REQUIRE_WORKER_SCALING needs PP_WORKER_SWEEP to include 1 and 4"
+                        .to_string(),
+                ),
+            }
         }
     }
 

@@ -341,10 +341,104 @@ fn predict_chunk(
         .collect()
 }
 
+/// One queued unit of work: serve a prediction or apply a state update.
+#[derive(Debug)]
+enum JobKind {
+    Predict {
+        request: PredictRequest,
+        reply: mpsc::Sender<Prediction>,
+    },
+    Update {
+        request: UpdateRequest,
+        reply: mpsc::Sender<()>,
+    },
+}
+
+impl JobKind {
+    fn user_id(&self) -> UserId {
+        match self {
+            JobKind::Predict { request, .. } => request.user_id,
+            JobKind::Update { request, .. } => request.user_id,
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Job {
-    request: PredictRequest,
-    reply: mpsc::Sender<Prediction>,
+    kind: JobKind,
+    /// When the job entered the queue. The coalesce flush deadline is
+    /// anchored here — at *arrival* — not at the instant a worker first
+    /// observes the queue, so queue residence while workers are busy counts
+    /// against the coalesce budget instead of being added on top of it.
+    arrived: std::time::Instant,
+}
+
+/// One shard's job queue. A user's jobs always land in the queue of the
+/// shard their hidden state lives in, and the queue is drained FIFO by at
+/// most one worker at a time (the `claimed` flag is held from drain until
+/// the batch's state reads/writes complete) — so per-user predict/update
+/// ordering survives both multi-worker draining and work stealing without
+/// any global lock.
+#[derive(Debug, Default)]
+struct ShardQueue {
+    jobs: Mutex<VecDeque<Job>>,
+    /// Lock-free emptiness hint so gathering workers skip idle shards
+    /// without taking the queue lock.
+    len: AtomicUsize,
+    /// Exclusively held by one worker from drain to state write-back.
+    claimed: AtomicBool,
+    /// Last worker to claim this queue — a best-effort hint so an enqueue
+    /// can also wake a coalescing *thief* currently holding the claim
+    /// (whose private signal the home-worker bump would miss). Stale
+    /// values only cost a spurious wakeup.
+    claimant: AtomicUsize,
+}
+
+/// A worker's private wakeup channel: submissions for shards the worker
+/// owns bump `seq` and notify `cv`, so a worker holding a partial batch
+/// open is woken by exactly the arrivals that could join its batch — it can
+/// never consume a wakeup another (idle) worker needed.
+#[derive(Debug, Default)]
+struct WorkerSignal {
+    seq: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl WorkerSignal {
+    fn bump(&self) {
+        let mut seq = self.seq.lock().expect("worker signal");
+        *seq += 1;
+        self.cv.notify_all();
+    }
+}
+
+#[derive(Debug, Default)]
+struct WorkerCounters {
+    batches: AtomicU64,
+    predictions: AtomicU64,
+    updates: AtomicU64,
+    steals: AtomicU64,
+    idle_ns: AtomicU64,
+}
+
+/// Per-worker counters of a [`BatchServingEngine`]
+/// ([`BatchServingEngine::worker_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerStats {
+    /// Worker index (also the owner of shards `s` with
+    /// `s % workers == worker`).
+    pub worker: usize,
+    /// Batches this worker served.
+    pub batches: u64,
+    /// Predictions this worker served.
+    pub predictions: u64,
+    /// State updates this worker applied.
+    pub updates: u64,
+    /// Batches that drained at least one job from a shard this worker does
+    /// not own (work stealing under skewed traffic).
+    pub steals: u64,
+    /// Nanoseconds spent parked waiting for work.
+    pub idle_ns: u64,
 }
 
 #[derive(Debug)]
@@ -355,12 +449,42 @@ struct EngineShared {
     /// How long a worker holds a non-full batch open for more arrivals
     /// before serving it (`None` = serve whatever is queued immediately).
     coalesce_wait: Option<std::time::Duration>,
-    queue: Mutex<VecDeque<Job>>,
-    available: Condvar,
+    /// One queue per state-store shard (`queues.len() == store.num_shards()`).
+    queues: Vec<ShardQueue>,
+    /// One private wakeup channel per worker.
+    signals: Vec<WorkerSignal>,
+    worker_counters: Vec<WorkerCounters>,
+    /// Generation counter for idle workers: bumped (under its mutex, with
+    /// `idle.notify_all`) whenever work appears or a claimed shard is
+    /// released. Idle workers re-scan whenever the generation moves, so no
+    /// submission can be lost between a scan and a park.
+    work_gen: Mutex<u64>,
+    idle: Condvar,
+    /// Jobs currently queued across all shards (for the queue-depth gauge).
+    queued: AtomicUsize,
     shutdown: AtomicBool,
     predictions: AtomicU64,
+    updates: AtomicU64,
     batches: AtomicU64,
     largest_batch: AtomicUsize,
+}
+
+impl EngineShared {
+    fn num_workers(&self) -> usize {
+        self.signals.len()
+    }
+
+    fn owner(&self, shard: usize) -> usize {
+        shard % self.num_workers()
+    }
+
+    /// Announce new or newly-claimable work to idle workers.
+    fn bump_work_gen(&self) {
+        let mut gen = self.work_gen.lock().expect("work generation");
+        *gen += 1;
+        drop(gen);
+        self.idle.notify_all();
+    }
 }
 
 /// Aggregate counters of a [`BatchServingEngine`].
@@ -368,6 +492,8 @@ struct EngineShared {
 pub struct EngineStats {
     /// Predictions served.
     pub predictions: u64,
+    /// Hidden-state updates applied.
+    pub updates: u64,
     /// Forward passes executed.
     pub batches: u64,
     /// Largest coalesced batch.
@@ -380,13 +506,20 @@ impl EngineStats {
         if self.batches == 0 {
             1.0
         } else {
-            self.predictions as f64 / self.batches as f64
+            (self.predictions + self.updates) as f64 / self.batches as f64
         }
     }
 }
 
-/// A multi-threaded batched prediction server: `workers` threads drain a
-/// shared queue in batches of up to `max_batch` and reply per request.
+/// A multi-threaded batched serving engine: `workers` threads drain
+/// per-shard job queues in batches of up to `max_batch` and reply per
+/// request.
+///
+/// Each worker **owns** the shards `s` of the engine's
+/// [`ShardedStateStore`] with `s % workers == worker`, so a user's jobs
+/// have a home worker and per-user predict/update ordering is preserved
+/// without a global lock; idle workers **steal** whole shard queues from
+/// busy peers, so skewed traffic still saturates every core.
 ///
 /// With `max_batch = 1` every request takes the single-request path, which
 /// is exactly the baseline the `load_gen` benchmark compares against.
@@ -429,61 +562,160 @@ impl BatchServingEngine {
     ) -> Self {
         assert!(workers > 0, "need at least one worker");
         assert!(max_batch > 0, "max_batch must be positive");
+        let num_shards = store.num_shards();
         let shared = Arc::new(EngineShared {
             model,
             store,
             max_batch,
             coalesce_wait,
-            queue: Mutex::new(VecDeque::new()),
-            available: Condvar::new(),
+            queues: (0..num_shards).map(|_| ShardQueue::default()).collect(),
+            signals: (0..workers).map(|_| WorkerSignal::default()).collect(),
+            worker_counters: (0..workers).map(|_| WorkerCounters::default()).collect(),
+            work_gen: Mutex::new(0),
+            idle: Condvar::new(),
+            queued: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             predictions: AtomicU64::new(0),
+            updates: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             largest_batch: AtomicUsize::new(0),
         });
         let workers = (0..workers)
-            .map(|_| {
+            .map(|worker| {
                 let shared = shared.clone();
-                std::thread::spawn(move || worker_loop(&shared))
+                std::thread::spawn(move || worker_loop(&shared, worker))
             })
             .collect();
         Self { shared, workers }
+    }
+
+    /// The number of worker threads.
+    pub fn num_workers(&self) -> usize {
+        self.shared.num_workers()
+    }
+
+    /// The worker that owns `user`'s home shard (and therefore serves the
+    /// user's jobs unless a peer steals the shard while this worker is
+    /// busy).
+    pub fn home_worker(&self, user: UserId) -> usize {
+        self.shared.owner(self.shared.store.shard_index(user))
+    }
+
+    /// Routes jobs to their home-shard queues and wakes workers: every home
+    /// worker gets a targeted signal (so a worker coalescing a partial
+    /// batch learns about joinable arrivals), and the idle generation is
+    /// bumped with `notify_all` (so no idle worker can miss work because a
+    /// busy peer consumed the only wakeup).
+    fn enqueue(&self, jobs: Vec<Job>) {
+        if jobs.is_empty() {
+            return;
+        }
+        let shared = &self.shared;
+        let arrived = jobs.len();
+        let mut notify_workers = vec![false; shared.num_workers()];
+        for job in jobs {
+            let shard = shared.store.shard_index(job.kind.user_id());
+            notify_workers[shared.owner(shard)] = true;
+            let queue = &shared.queues[shard];
+            let mut q = queue.jobs.lock().expect("shard queue");
+            q.push_back(job);
+            queue.len.store(q.len(), Ordering::Release);
+            drop(q);
+            // If a (possibly stealing) worker holds this shard's claim
+            // mid-coalesce, wake it too — the home worker can't drain a
+            // claimed queue on its behalf.
+            if queue.claimed.load(Ordering::Acquire) {
+                let claimant = queue.claimant.load(Ordering::Relaxed);
+                if claimant < notify_workers.len() {
+                    notify_workers[claimant] = true;
+                }
+            }
+        }
+        let depth = shared.queued.fetch_add(arrived, Ordering::Relaxed) + arrived;
+        crate::obs::ServingObs::global()
+            .queue_depth
+            .set(depth as f64);
+        shared.bump_work_gen();
+        for (worker, notify) in notify_workers.into_iter().enumerate() {
+            if notify {
+                shared.signals[worker].bump();
+            }
+        }
     }
 
     /// Submits a request; the returned receiver yields the prediction once a
     /// worker has served its batch.
     pub fn submit(&self, request: PredictRequest) -> mpsc::Receiver<Prediction> {
         let (reply, receiver) = mpsc::channel();
-        {
-            let mut queue = self.shared.queue.lock().expect("engine queue");
-            queue.push_back(Job { request, reply });
-            crate::obs::ServingObs::global()
-                .queue_depth
-                .set(queue.len() as f64);
-        }
-        self.shared.available.notify_one();
+        self.enqueue(vec![Job {
+            kind: JobKind::Predict { request, reply },
+            arrived: std::time::Instant::now(),
+        }]);
         receiver
     }
 
-    /// Submits a burst of requests under one queue lock — the natural entry
+    /// Submits a burst of requests in one enqueue pass — the natural entry
     /// point for front-ends that already hold several concurrent session
     /// starts, and what lets workers coalesce full batches instead of
     /// draining a trickle.
     pub fn submit_many(&self, requests: &[PredictRequest]) -> Vec<mpsc::Receiver<Prediction>> {
+        let arrived = std::time::Instant::now();
         let mut receivers = Vec::with_capacity(requests.len());
-        {
-            let mut queue = self.shared.queue.lock().expect("engine queue");
-            for &request in requests {
+        let jobs = requests
+            .iter()
+            .map(|&request| {
                 let (reply, receiver) = mpsc::channel();
-                queue.push_back(Job { request, reply });
                 receivers.push(receiver);
-            }
-            crate::obs::ServingObs::global()
-                .queue_depth
-                .set(queue.len() as f64);
-        }
-        self.shared.available.notify_all();
+                Job {
+                    kind: JobKind::Predict { request, reply },
+                    arrived,
+                }
+            })
+            .collect();
+        self.enqueue(jobs);
         receivers
+    }
+
+    /// Submits a session-close hidden-state update; the returned receiver
+    /// yields `()` once the state has been advanced and re-stored. Updates
+    /// and predictions for the same user are applied in submission order
+    /// (they share the user's home-shard queue).
+    pub fn submit_update(&self, request: UpdateRequest) -> mpsc::Receiver<()> {
+        let (reply, receiver) = mpsc::channel();
+        self.enqueue(vec![Job {
+            kind: JobKind::Update { request, reply },
+            arrived: std::time::Instant::now(),
+        }]);
+        receiver
+    }
+
+    /// Submits a burst of updates in one enqueue pass.
+    pub fn submit_updates(&self, requests: &[UpdateRequest]) -> Vec<mpsc::Receiver<()>> {
+        let arrived = std::time::Instant::now();
+        let mut receivers = Vec::with_capacity(requests.len());
+        let jobs = requests
+            .iter()
+            .map(|&request| {
+                let (reply, receiver) = mpsc::channel();
+                receivers.push(receiver);
+                Job {
+                    kind: JobKind::Update { request, reply },
+                    arrived,
+                }
+            })
+            .collect();
+        self.enqueue(jobs);
+        receivers
+    }
+
+    /// Submits a burst of updates and blocks until every state has been
+    /// advanced and re-stored.
+    pub fn apply_updates_blocking(&self, requests: &[UpdateRequest]) {
+        for receiver in self.submit_updates(requests) {
+            receiver
+                .recv()
+                .expect("engine worker dropped the update reply channel");
+        }
     }
 
     /// Submits a request and blocks for the prediction.
@@ -513,87 +745,299 @@ impl BatchServingEngine {
     pub fn stats(&self) -> EngineStats {
         EngineStats {
             predictions: self.shared.predictions.load(Ordering::Relaxed),
+            updates: self.shared.updates.load(Ordering::Relaxed),
             batches: self.shared.batches.load(Ordering::Relaxed),
             largest_batch: self.shared.largest_batch.load(Ordering::Relaxed),
         }
+    }
+
+    /// Per-worker counters accumulated so far, indexed by worker.
+    pub fn worker_stats(&self) -> Vec<WorkerStats> {
+        self.shared
+            .worker_counters
+            .iter()
+            .enumerate()
+            .map(|(worker, c)| WorkerStats {
+                worker,
+                batches: c.batches.load(Ordering::Relaxed),
+                predictions: c.predictions.load(Ordering::Relaxed),
+                updates: c.updates.load(Ordering::Relaxed),
+                steals: c.steals.load(Ordering::Relaxed),
+                idle_ns: c.idle_ns.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 }
 
 impl Drop for BatchServingEngine {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        self.shared.available.notify_all();
+        self.shared.bump_work_gen();
+        for signal in &self.shared.signals {
+            signal.bump();
+        }
+        // Workers drain every queued job before exiting, so in-flight
+        // receivers still get their replies.
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
     }
 }
 
-fn worker_loop(shared: &EngineShared) {
+/// Advances and re-stores one chunk of session-close updates; callers
+/// guarantee the chunk holds each user at most once.
+fn update_chunk(model: &RnnModel, store: &ShardedStateStore, chunk: &[UpdateRequest]) {
     let obs = crate::obs::ServingObs::global();
-    loop {
-        let jobs: Vec<Job> = {
-            let mut queue = shared.queue.lock().expect("engine queue");
-            loop {
-                if queue.is_empty() {
-                    if shared.shutdown.load(Ordering::SeqCst) {
-                        return;
-                    }
-                    queue = shared.available.wait(queue).expect("engine condvar wait");
-                    continue;
-                }
-                // Hold a non-full batch open for stragglers up to the
-                // coalesce deadline; shutdown or a timeout flushes whatever
-                // is there. Other workers may drain the queue while we wait,
-                // so re-check emptiness afterwards.
-                if let Some(wait) = shared.coalesce_wait {
-                    let held = pp_obs::Stopwatch::start();
-                    let deadline = std::time::Instant::now() + wait;
-                    while queue.len() < shared.max_batch
-                        && !queue.is_empty()
-                        && !shared.shutdown.load(Ordering::SeqCst)
-                    {
-                        let now = std::time::Instant::now();
-                        let Some(remaining) = deadline.checked_duration_since(now) else {
-                            break;
-                        };
-                        if remaining.is_zero() {
-                            break;
-                        }
-                        let (q, result) = shared
-                            .available
-                            .wait_timeout(queue, remaining)
-                            .expect("engine condvar wait");
-                        queue = q;
-                        if result.timed_out() {
-                            break;
-                        }
-                    }
-                    if queue.is_empty() {
-                        continue;
-                    }
-                    held.record(&obs.coalesce_wait_ns);
-                }
-                let take = queue.len().min(shared.max_batch);
-                let jobs: Vec<Job> = queue.drain(..take).collect();
-                obs.queue_depth.set(queue.len() as f64);
-                break jobs;
-            }
-        };
+    obs.batch_size.record(chunk.len() as u64);
+    let assembly = pp_obs::Stopwatch::start();
+    let states: Vec<Vec<f32>> = chunk
+        .iter()
+        .map(|r| {
+            store
+                .get_state(r.user_id)
+                .unwrap_or_else(|| model.initial_state())
+        })
+        .collect();
+    let inputs: Vec<Vec<f32>> = chunk
+        .iter()
+        .map(|r| {
+            model
+                .featurizer()
+                .update_input(r.timestamp, &r.context, r.delta_t_secs, r.accessed)
+        })
+        .collect();
+    assembly.record(&obs.batch_assembly_ns);
+    let forward = pp_obs::Stopwatch::start();
+    let next_states = if chunk.len() == 1 {
+        vec![model.advance_state(&states[0], &inputs[0])]
+    } else {
+        model.advance_state_batch(&states, &inputs)
+    };
+    forward.record(&obs.forward_pass_ns);
+    for (request, next) in chunk.iter().zip(&next_states) {
+        store.put_state(request.user_id, next);
+    }
+}
 
-        let requests: Vec<PredictRequest> = jobs.iter().map(|j| j.request).collect();
-        let predictions = predict_chunk(&shared.model, &shared.store, &requests);
-        shared
-            .predictions
-            .fetch_add(jobs.len() as u64, Ordering::Relaxed);
-        shared.batches.fetch_add(1, Ordering::Relaxed);
-        shared
-            .largest_batch
-            .fetch_max(jobs.len(), Ordering::Relaxed);
-        for (job, prediction) in jobs.iter().zip(predictions) {
-            // A dropped receiver (client gave up) is not an engine error.
-            let _ = job.reply.send(prediction);
+/// A batch under assembly: homogeneous-kind jobs plus the shard claims that
+/// stay held until the batch's state reads and write-backs complete.
+struct GatheredBatch {
+    jobs: Vec<Job>,
+    claimed_shards: Vec<usize>,
+    stole: bool,
+}
+
+/// Scans shard queues — the worker's own shards first, then everyone
+/// else's (work stealing) — claiming each non-empty unclaimed queue and
+/// draining a FIFO prefix into `batch`. A queue's prefix stops at a
+/// kind change or (for updates) a user already in the batch, so per-user
+/// ordering and same-user-once-per-update-batch both hold.
+fn gather(
+    shared: &EngineShared,
+    worker: usize,
+    batch: &mut GatheredBatch,
+    seen_users: &mut HashSet<UserId>,
+) {
+    let num_shards = shared.queues.len();
+    let workers = shared.num_workers();
+    let own = (worker..num_shards).step_by(workers);
+    let foreign = (0..num_shards).filter(|s| s % workers != worker);
+    for shard in own.chain(foreign) {
+        if batch.jobs.len() >= shared.max_batch {
+            break;
         }
+        let queue = &shared.queues[shard];
+        let already_claimed = batch.claimed_shards.contains(&shard);
+        if !already_claimed {
+            if queue.len.load(Ordering::Acquire) == 0 {
+                continue;
+            }
+            if queue
+                .claimed
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+            {
+                continue;
+            }
+            queue.claimant.store(worker, Ordering::Relaxed);
+        }
+        let mut drained = 0usize;
+        {
+            let mut q = queue.jobs.lock().expect("shard queue");
+            while batch.jobs.len() < shared.max_batch {
+                let Some(front) = q.front() else { break };
+                if let Some(first) = batch.jobs.first() {
+                    if std::mem::discriminant(&first.kind) != std::mem::discriminant(&front.kind) {
+                        break;
+                    }
+                }
+                if matches!(front.kind, JobKind::Update { .. })
+                    && !seen_users.insert(front.kind.user_id())
+                {
+                    // A second update for the same user waits for the next
+                    // batch so it reads the state the first one writes.
+                    break;
+                }
+                batch.jobs.push(q.pop_front().expect("front exists"));
+                drained += 1;
+            }
+            queue.len.store(q.len(), Ordering::Release);
+        }
+        if already_claimed {
+            continue;
+        }
+        if drained == 0 {
+            queue.claimed.store(false, Ordering::Release);
+        } else {
+            batch.claimed_shards.push(shard);
+            if shard % workers != worker {
+                batch.stole = true;
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &EngineShared, worker: usize) {
+    let obs = crate::obs::ServingObs::global();
+    let counters = &shared.worker_counters[worker];
+    loop {
+        // Snapshot the work generation BEFORE scanning: an enqueue racing
+        // with the scan moves the generation, so the park below falls
+        // through instead of sleeping on work it never saw.
+        let gen_before = *shared.work_gen.lock().expect("work generation");
+        let mut batch = GatheredBatch {
+            jobs: Vec::new(),
+            claimed_shards: Vec::new(),
+            stole: false,
+        };
+        let mut seen_users = HashSet::new();
+        gather(shared, worker, &mut batch, &mut seen_users);
+
+        if batch.jobs.is_empty() {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let parked = std::time::Instant::now();
+            let mut gen = shared.work_gen.lock().expect("work generation");
+            while *gen == gen_before && !shared.shutdown.load(Ordering::SeqCst) {
+                gen = shared.idle.wait(gen).expect("idle wait");
+            }
+            drop(gen);
+            let idle_ns = u64::try_from(parked.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            counters.idle_ns.fetch_add(idle_ns, Ordering::Relaxed);
+            obs.worker_idle_ns.add(idle_ns);
+            continue;
+        }
+
+        // Coalesce: hold a non-full batch open for stragglers, with the
+        // flush deadline anchored at the *oldest job's arrival* — queue
+        // residence while workers were busy counts against the budget, so
+        // no job waits more than `coalesce_wait` past its arrival here.
+        if let Some(wait) = shared.coalesce_wait {
+            if batch.jobs.len() < shared.max_batch && !shared.shutdown.load(Ordering::SeqCst) {
+                let held = pp_obs::Stopwatch::start();
+                let oldest = batch
+                    .jobs
+                    .iter()
+                    .map(|j| j.arrived)
+                    .min()
+                    .expect("non-empty batch");
+                let deadline = oldest + wait;
+                let signal = &shared.signals[worker];
+                while batch.jobs.len() < shared.max_batch && !shared.shutdown.load(Ordering::SeqCst)
+                {
+                    let now = std::time::Instant::now();
+                    let Some(remaining) = deadline.checked_duration_since(now) else {
+                        break;
+                    };
+                    if remaining.is_zero() {
+                        break;
+                    }
+                    // Read the private signal sequence before re-gathering:
+                    // an arrival after the read bumps the sequence and skips
+                    // the wait; an arrival before it is picked up by the
+                    // gather. Either way nothing is lost.
+                    let seq_before = *signal.seq.lock().expect("worker signal");
+                    gather(shared, worker, &mut batch, &mut seen_users);
+                    if batch.jobs.len() >= shared.max_batch {
+                        break;
+                    }
+                    let seq = signal.seq.lock().expect("worker signal");
+                    if *seq == seq_before {
+                        let _ = signal
+                            .cv
+                            .wait_timeout(seq, remaining)
+                            .expect("coalesce wait");
+                    }
+                }
+                gather(shared, worker, &mut batch, &mut seen_users);
+                held.record(&obs.coalesce_wait_ns);
+            }
+        }
+
+        let size = batch.jobs.len();
+        // All batch-level accounting lands before any reply is sent, so a
+        // client that read its reply sees this batch in `stats()`.
+        shared.batches.fetch_add(1, Ordering::Relaxed);
+        counters.batches.fetch_add(1, Ordering::Relaxed);
+        shared.largest_batch.fetch_max(size, Ordering::Relaxed);
+        obs.worker_batches.inc();
+        if batch.stole {
+            counters.steals.fetch_add(1, Ordering::Relaxed);
+            obs.worker_steals.inc();
+        }
+        let depth = shared.queued.fetch_sub(size, Ordering::Relaxed) - size;
+        obs.queue_depth.set(depth as f64);
+        match batch.jobs[0].kind {
+            JobKind::Predict { .. } => {
+                let requests: Vec<PredictRequest> = batch
+                    .jobs
+                    .iter()
+                    .map(|j| match &j.kind {
+                        JobKind::Predict { request, .. } => *request,
+                        JobKind::Update { .. } => unreachable!("batches are kind-homogeneous"),
+                    })
+                    .collect();
+                let predictions = predict_chunk(&shared.model, &shared.store, &requests);
+                shared.predictions.fetch_add(size as u64, Ordering::Relaxed);
+                counters
+                    .predictions
+                    .fetch_add(size as u64, Ordering::Relaxed);
+                for (job, prediction) in batch.jobs.iter().zip(predictions) {
+                    if let JobKind::Predict { reply, .. } = &job.kind {
+                        // A dropped receiver (client gave up) is not an
+                        // engine error.
+                        let _ = reply.send(prediction);
+                    }
+                }
+            }
+            JobKind::Update { .. } => {
+                let requests: Vec<UpdateRequest> = batch
+                    .jobs
+                    .iter()
+                    .map(|j| match &j.kind {
+                        JobKind::Update { request, .. } => *request,
+                        JobKind::Predict { .. } => unreachable!("batches are kind-homogeneous"),
+                    })
+                    .collect();
+                update_chunk(&shared.model, &shared.store, &requests);
+                shared.updates.fetch_add(size as u64, Ordering::Relaxed);
+                counters.updates.fetch_add(size as u64, Ordering::Relaxed);
+                for job in &batch.jobs {
+                    if let JobKind::Update { reply, .. } = &job.kind {
+                        let _ = reply.send(());
+                    }
+                }
+            }
+        }
+
+        // Claims release only now — after the batch's state reads and
+        // write-backs — so no peer can reorder this batch's users; the
+        // generation bump lets idle workers pick up what remains queued.
+        for &shard in &batch.claimed_shards {
+            shared.queues[shard].claimed.store(false, Ordering::Release);
+        }
+        shared.bump_work_gen();
     }
 }
 
@@ -948,6 +1392,132 @@ mod tests {
             "coalesce window should batch a trickle (largest {})",
             stats.largest_batch
         );
+    }
+
+    fn update(id: u64, i: i64) -> UpdateRequest {
+        UpdateRequest {
+            user_id: UserId(id),
+            timestamp: 20_000 + i * 41,
+            context: Context::MobileTab {
+                unread_count: (i % 7) as u8,
+                active_tab: Tab::ALL[(i % Tab::ALL.len() as i64) as usize],
+            },
+            delta_t_secs: 600 + i,
+            accessed: i % 2 == 0,
+        }
+    }
+
+    #[test]
+    fn coalesce_deadline_is_anchored_at_job_arrival_not_observation() {
+        // Regression: the flush deadline used to be re-armed at the instant
+        // a worker first *observed* the queue, so a job that sat queued
+        // while the worker was occupied waited its queue residence PLUS a
+        // full coalesce window (worst case ~2x the configured wait). The
+        // deadline is now anchored at the oldest job's arrival.
+        let m = Arc::new(model());
+        let store = Arc::new(ShardedStateStore::new(4));
+        let wait = std::time::Duration::from_millis(500);
+        let engine = BatchServingEngine::start_with_coalesce(m, store, 1, 8, Some(wait));
+        // Occupy the lone worker with a partial *predict* batch whose
+        // coalesce window runs until t = 500ms.
+        let predict = engine.submit(request(1, 1));
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        // t = 100ms: an *update* arrives. Batches are kind-homogeneous, so
+        // it cannot join the held predict batch; the worker only picks it
+        // up when that batch flushes at t = 500ms — after 400ms of queue
+        // residence that must count against the update's own deadline.
+        let submitted = std::time::Instant::now();
+        let receiver = engine.submit_update(update(2, 2));
+        receiver.recv().unwrap();
+        let waited = submitted.elapsed();
+        // Arrival-anchored: served ~500ms after arrival. The old
+        // observation-anchored deadline re-armed the full window at
+        // t = 500ms and served at ~1s (a ~900ms wait).
+        assert!(
+            waited < std::time::Duration::from_millis(750),
+            "update waited {waited:?}; coalesce deadline must anchor at arrival, not observation"
+        );
+        predict.recv().unwrap();
+    }
+
+    #[test]
+    fn separate_submits_are_not_stranded_by_a_peer_coalescing_a_partial_batch() {
+        // Regression: the old single-queue engine woke workers with
+        // `notify_one`, so a submission's wakeup could be consumed by a
+        // worker parked mid-coalesce over a partial batch while an idle
+        // peer — which could have served the job immediately — kept
+        // sleeping, stranding the job for the full coalesce window. Jobs
+        // now land in per-shard queues, idle workers park on a generation
+        // counter bumped with `notify_all`, and coalescing workers listen
+        // on private signals.
+        let m = Arc::new(model());
+        let store = Arc::new(ShardedStateStore::new(4));
+        let wait = std::time::Duration::from_secs(2);
+        let engine = BatchServingEngine::start_with_coalesce(m, store.clone(), 2, 2, Some(wait));
+        // One user homed on worker 0, and two distinct users sharing a
+        // single worker-1 shard (same shard ⇒ whichever worker claims the
+        // shard sees both jobs, keeping the test deterministic under
+        // stealing).
+        let lone = (0..256)
+            .map(UserId)
+            .find(|&u| engine.home_worker(u) == 0)
+            .expect("a worker-0 user exists");
+        let second = (0..256)
+            .map(UserId)
+            .find(|&u| engine.home_worker(u) == 1)
+            .expect("a worker-1 user exists");
+        let third = (0..256)
+            .map(UserId)
+            .find(|&u| u != second && store.shard_index(u) == store.shard_index(second))
+            .expect("a second user in the same shard exists");
+
+        // Some worker claims the lone user's shard and holds its partial
+        // batch open until t = 2s.
+        let j1 = engine.submit(request(lone.0, 1));
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        // Two *separate* submits (two wakeup events — the pattern that
+        // lost a wakeup in the old engine). They fill a max_batch = 2
+        // batch and must be served immediately, long before any coalesce
+        // window expires.
+        let started = std::time::Instant::now();
+        let j2 = engine.submit(request(second.0, 2));
+        let j3 = engine.submit(request(third.0, 3));
+        j2.recv_timeout(std::time::Duration::from_millis(900))
+            .expect("second job stranded behind a peer's coalesce window");
+        j3.recv_timeout(std::time::Duration::from_millis(900))
+            .expect("third job stranded behind a peer's coalesce window");
+        assert!(started.elapsed() < std::time::Duration::from_millis(1000));
+        // The lone partial batch still flushes at its own (arrival-
+        // anchored) deadline.
+        j1.recv_timeout(std::time::Duration::from_secs(4))
+            .expect("lone job must flush at its coalesce deadline");
+    }
+
+    #[test]
+    fn engine_applies_updates_and_counts_them() {
+        let m = Arc::new(model());
+        let store = Arc::new(ShardedStateStore::new(4));
+        let engine = BatchServingEngine::start(m.clone(), store.clone(), 2, 8);
+        let updates: Vec<UpdateRequest> = (0..6).map(|i| update(7, i)).collect();
+        engine.apply_updates_blocking(&updates);
+        // Sequential reference: same-user updates must chain in order.
+        let mut h = m.initial_state();
+        for u in &updates {
+            h = m.advance_state(
+                &h,
+                &m.featurizer()
+                    .update_input(u.timestamp, &u.context, u.delta_t_secs, u.accessed),
+            );
+        }
+        let stored = store.get_state(UserId(7)).unwrap();
+        for (a, b) in stored.iter().zip(&h) {
+            assert!((a - b).abs() < 1e-6);
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.updates, 6);
+        assert_eq!(stats.predictions, 0);
+        let worker_updates: u64 = engine.worker_stats().iter().map(|w| w.updates).sum();
+        assert_eq!(worker_updates, 6);
     }
 
     #[test]

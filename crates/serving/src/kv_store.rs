@@ -43,36 +43,61 @@ impl StoreStats {
     }
 }
 
-/// One stored value together with its recency stamp.
+/// Which entry a bounded store sacrifices when it is full.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EvictionPolicy {
+    /// Evict the least-recently-touched entry (classic LRU).
+    #[default]
+    Lru,
+    /// Evict the least-frequently-accessed entry (ties broken by recency):
+    /// a hot user's state survives a flood of one-shot visitors that would
+    /// wash it out of a pure-LRU store. Frequencies never age, so this is
+    /// suited to bounded-horizon studies rather than indefinite uptime.
+    FrequencyWeighted,
+}
+
+/// One stored value together with its recency and frequency stamps.
 #[derive(Debug)]
 struct Entry {
     value: Bytes,
-    /// Monotone tick of the last touch; also the key into the LRU index.
+    /// Monotone tick of the last touch; part of the eviction-index key.
     tick: u64,
+    /// Lifetime touches (puts + read hits) of this key.
+    freq: u64,
 }
 
-/// Map + recency index behind one lock so they can never disagree.
+/// Map + eviction index behind one lock so they can never disagree.
 #[derive(Debug, Default)]
 struct Inner {
     map: HashMap<String, Entry>,
-    /// tick → key, ordered oldest-first; only maintained when bounded.
-    lru: BTreeMap<u64, String>,
+    /// (rank, tick) → key, ordered victim-first; only maintained when
+    /// bounded. Rank is 0 under LRU (pure recency order) and the access
+    /// frequency under [`EvictionPolicy::FrequencyWeighted`].
+    index: BTreeMap<(u64, u64), String>,
     next_tick: u64,
 }
 
 impl Inner {
-    fn touch(&mut self, key: &str) {
+    fn index_key(policy: EvictionPolicy, entry: &Entry) -> (u64, u64) {
+        match policy {
+            EvictionPolicy::Lru => (0, entry.tick),
+            EvictionPolicy::FrequencyWeighted => (entry.freq, entry.tick),
+        }
+    }
+
+    fn touch(&mut self, key: &str, policy: EvictionPolicy) {
         let tick = self.next_tick;
         self.next_tick += 1;
         if let Some(entry) = self.map.get_mut(key) {
-            // Move the already-owned key String to its new tick slot
+            // Move the already-owned key String to its new index slot
             // instead of allocating a fresh one per read.
             let owned = self
-                .lru
-                .remove(&entry.tick)
+                .index
+                .remove(&Self::index_key(policy, entry))
                 .unwrap_or_else(|| key.to_string());
             entry.tick = tick;
-            self.lru.insert(tick, owned);
+            entry.freq += 1;
+            self.index.insert(Self::index_key(policy, entry), owned);
         }
     }
 }
@@ -85,6 +110,7 @@ impl Inner {
 pub struct KvStore {
     inner: RwLock<Inner>,
     capacity: Option<usize>,
+    policy: EvictionPolicy,
     stats: RwLock<StoreStats>,
 }
 
@@ -102,9 +128,21 @@ impl KvStore {
     ///
     /// Panics if `capacity` is zero.
     pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_capacity_and_policy(capacity, EvictionPolicy::Lru)
+    }
+
+    /// Creates an empty store bounded to `capacity` keys under the given
+    /// [`EvictionPolicy`]. `get` and `put` refresh both recency and
+    /// frequency; evictions bump [`StoreStats::evictions`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity_and_policy(capacity: usize, policy: EvictionPolicy) -> Self {
         assert!(capacity > 0, "capacity must be positive");
         Self {
             capacity: Some(capacity),
+            policy,
             ..Self::default()
         }
     }
@@ -112,6 +150,12 @@ impl KvStore {
     /// The capacity bound, if any.
     pub fn capacity(&self) -> Option<usize> {
         self.capacity
+    }
+
+    /// The eviction policy a bounded store applies (unbounded stores never
+    /// evict, so the policy is irrelevant there).
+    pub fn eviction_policy(&self) -> EvictionPolicy {
+        self.policy
     }
 
     /// Stores `value` under `key`, replacing any previous value. When the
@@ -127,15 +171,18 @@ impl KvStore {
         let mut inner = self.inner.write();
         let tick = inner.next_tick;
         inner.next_tick += 1;
-        if let Some(old) = inner.map.insert(key.clone(), Entry { value, tick }) {
-            inner.lru.remove(&old.tick);
+        let freq = inner.map.get(&key).map_or(0, |old| old.freq) + 1;
+        let entry = Entry { value, tick, freq };
+        let index_key = Inner::index_key(self.policy, &entry);
+        if let Some(old) = inner.map.insert(key.clone(), entry) {
+            inner.index.remove(&Inner::index_key(self.policy, &old));
         }
         if let Some(capacity) = self.capacity {
-            inner.lru.insert(tick, key);
+            inner.index.insert(index_key, key);
             let mut evicted = 0u64;
             while inner.map.len() > capacity {
-                let (&oldest_tick, _) = inner.lru.iter().next().expect("lru tracks map");
-                let victim = inner.lru.remove(&oldest_tick).expect("tick present");
+                let (&victim_key, _) = inner.index.iter().next().expect("index tracks map");
+                let victim = inner.index.remove(&victim_key).expect("victim present");
                 inner.map.remove(&victim);
                 evicted += 1;
             }
@@ -155,7 +202,7 @@ impl KvStore {
             let mut inner = self.inner.write();
             let value = inner.map.get(key).map(|e| e.value.clone());
             if value.is_some() {
-                inner.touch(key);
+                inner.touch(key, self.policy);
             }
             value
         } else {
@@ -174,8 +221,16 @@ impl KvStore {
     pub fn remove(&self, key: &str) -> Option<Bytes> {
         let mut inner = self.inner.write();
         let entry = inner.map.remove(key)?;
-        inner.lru.remove(&entry.tick);
+        inner.index.remove(&Inner::index_key(self.policy, &entry));
         Some(entry.value)
+    }
+
+    /// Whether `key` is currently stored. Unlike [`KvStore::get`] this does
+    /// not count as store traffic and never refreshes recency or frequency
+    /// — it exists so measurement harnesses can probe residency without
+    /// perturbing what they measure.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.inner.read().map.contains_key(key)
     }
 
     /// Number of keys currently stored.
@@ -427,6 +482,70 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _ = KvStore::with_capacity(0);
+    }
+
+    #[test]
+    fn frequency_weighted_store_keeps_hot_keys_under_scan_pressure() {
+        let store = KvStore::with_capacity_and_policy(4, EvictionPolicy::FrequencyWeighted);
+        assert_eq!(store.eviction_policy(), EvictionPolicy::FrequencyWeighted);
+        store.put("hot", Bytes::from_static(b"h"));
+        for _ in 0..10 {
+            assert!(store.get("hot").is_some());
+        }
+        // A scan of one-shot keys floods the store; each newcomer has
+        // frequency 1, so they evict each other while "hot" survives.
+        for i in 0..50 {
+            store.put(format!("scan-{i}"), Bytes::from_static(b"s"));
+        }
+        assert_eq!(store.len(), 4);
+        assert!(
+            store.get("hot").is_some(),
+            "frequency-weighted eviction must keep the hot key"
+        );
+        // The same scan against an LRU store washes the hot key out.
+        let lru = KvStore::with_capacity(4);
+        lru.put("hot", Bytes::from_static(b"h"));
+        for _ in 0..10 {
+            assert!(lru.get("hot").is_some());
+        }
+        for i in 0..50 {
+            lru.put(format!("scan-{i}"), Bytes::from_static(b"s"));
+        }
+        assert!(lru.get("hot").is_none(), "LRU evicts the unscanned hot key");
+    }
+
+    #[test]
+    fn frequency_ties_break_by_recency_and_puts_count_as_touches() {
+        let store = KvStore::with_capacity_and_policy(2, EvictionPolicy::FrequencyWeighted);
+        store.put("a", Bytes::from_static(b"1")); // freq 1, older
+        store.put("b", Bytes::from_static(b"2")); // freq 1, newer
+        store.put("c", Bytes::from_static(b"3")); // evicts "a" (tie → oldest)
+        assert!(store.get("a").is_none());
+        assert!(store.get("b").is_some()); // freq 2
+                                           // Re-putting "c" bumps its frequency to 2; inserting "d" (freq 1)
+                                           // cannot displace either freq-2 key, so "d" is itself the victim.
+        store.put("c", Bytes::from_static(b"3"));
+        store.put("d", Bytes::from_static(b"4"));
+        assert_eq!(store.len(), 2);
+        assert!(store.get("d").is_none());
+        assert!(store.get("b").is_some());
+        assert!(store.get("c").is_some());
+    }
+
+    #[test]
+    fn contains_key_does_not_count_as_traffic_or_refresh_recency() {
+        let store = KvStore::with_capacity(2);
+        store.put("a", Bytes::from_static(b"1"));
+        store.put("b", Bytes::from_static(b"2"));
+        let reads_before = store.stats().reads;
+        assert!(store.contains_key("a"));
+        assert!(!store.contains_key("zzz"));
+        assert_eq!(store.stats().reads, reads_before);
+        // contains_key must not have refreshed "a": it is still the LRU
+        // victim when "c" arrives.
+        store.put("c", Bytes::from_static(b"3"));
+        assert!(!store.contains_key("a"));
+        assert!(store.contains_key("b"));
     }
 
     #[test]

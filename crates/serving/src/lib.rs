@@ -40,12 +40,14 @@ pub mod sharded;
 
 pub use batch::{
     BatchScheduler, BatchServingEngine, EngineStats, PredictRequest, Prediction, SchedulerStats,
-    UpdateRequest,
+    UpdateRequest, WorkerStats,
 };
 pub use cost::{
     baseline_profile, compare, rnn_profile, CostComparison, CostWeights, ServingProfile,
 };
-pub use kv_store::{decode_state_f32, encode_state_f32, KvStore, QuantizedState, StoreStats};
+pub use kv_store::{
+    decode_state_f32, encode_state_f32, EvictionPolicy, KvStore, QuantizedState, StoreStats,
+};
 pub use obs::ServingObs;
 pub use online::{daily_metrics, run_online_comparison, DailyMetric, OnlineComparison};
 pub use pipeline::{ServingOutcome, ServingPipeline};

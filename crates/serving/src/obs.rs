@@ -30,6 +30,15 @@ pub struct ServingObs {
     pub store_writes: Arc<Counter>,
     /// `serving.store.evictions` — states evicted by bounded stores.
     pub store_evictions: Arc<Counter>,
+    /// `serving.worker.batches` — batches served across all workers.
+    pub worker_batches: Arc<Counter>,
+    /// `serving.worker.steals` — batches that drained at least one job from
+    /// a shard the serving worker does not own (work stealing).
+    pub worker_steals: Arc<Counter>,
+    /// `serving.worker.idle_ns` — total nanoseconds workers spent parked
+    /// waiting for work (sums across workers; divide by worker count and
+    /// wall time for mean idle fraction).
+    pub worker_idle_ns: Arc<Counter>,
 }
 
 impl ServingObs {
@@ -46,6 +55,9 @@ impl ServingObs {
             store_hits: registry.counter("serving.store.hits"),
             store_writes: registry.counter("serving.store.writes"),
             store_evictions: registry.counter("serving.store.evictions"),
+            worker_batches: registry.counter("serving.worker.batches"),
+            worker_steals: registry.counter("serving.worker.steals"),
+            worker_idle_ns: registry.counter("serving.worker.idle_ns"),
         }
     }
 

@@ -12,7 +12,7 @@
 //! encoding as the single-store pipeline, so the per-shard traffic
 //! counters stay comparable with the §9 cost model.
 
-use crate::kv_store::{decode_state_f32, encode_state_f32, KvStore, StoreStats};
+use crate::kv_store::{decode_state_f32, encode_state_f32, EvictionPolicy, KvStore, StoreStats};
 use pp_data::schema::UserId;
 
 /// A fixed-size array of independent [`KvStore`] shards keyed by user-id
@@ -35,22 +35,47 @@ impl ShardedStateStore {
         }
     }
 
-    /// Creates a store bounded to roughly `total_capacity` states across
-    /// `num_shards` shards: each shard holds at most
-    /// `ceil(total_capacity / num_shards)` states and evicts its
-    /// least-recently-used state beyond that (evictions show up in
-    /// [`StoreStats::evictions`]).
+    /// Creates a store bounded to **exactly** `total_capacity` states
+    /// across `num_shards` shards: shard capacities are
+    /// `total_capacity / num_shards` each, with the remainder distributed
+    /// one state at a time to the lowest-indexed shards, so the per-shard
+    /// bounds sum to `total_capacity` and [`ShardedStateStore::capacity`]
+    /// reports it exactly. Each shard evicts its least-recently-used state
+    /// beyond its bound (evictions show up in [`StoreStats::evictions`]).
     ///
     /// # Panics
     ///
-    /// Panics if `num_shards` or `total_capacity` is zero.
+    /// Panics if `num_shards` is zero or `total_capacity < num_shards`
+    /// (every shard must be able to hold at least one state).
     pub fn with_capacity(num_shards: usize, total_capacity: usize) -> Self {
+        Self::with_capacity_and_policy(num_shards, total_capacity, EvictionPolicy::Lru)
+    }
+
+    /// Like [`ShardedStateStore::with_capacity`], with an explicit
+    /// per-shard [`EvictionPolicy`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards` is zero or `total_capacity < num_shards`.
+    pub fn with_capacity_and_policy(
+        num_shards: usize,
+        total_capacity: usize,
+        policy: EvictionPolicy,
+    ) -> Self {
         assert!(num_shards > 0, "ShardedStateStore needs at least one shard");
-        assert!(total_capacity > 0, "total_capacity must be positive");
-        let per_shard = total_capacity.div_ceil(num_shards);
+        assert!(
+            total_capacity >= num_shards,
+            "total_capacity ({total_capacity}) must be at least num_shards ({num_shards}) \
+             so every shard can hold a state"
+        );
+        let base = total_capacity / num_shards;
+        let remainder = total_capacity % num_shards;
         Self {
             shards: (0..num_shards)
-                .map(|_| KvStore::with_capacity(per_shard))
+                .map(|shard| {
+                    let capacity = base + usize::from(shard < remainder);
+                    KvStore::with_capacity_and_policy(capacity, policy)
+                })
                 .collect(),
         }
     }
@@ -116,6 +141,14 @@ impl ShardedStateStore {
         self.shards[self.shard_index(user)]
             .remove(&Self::key(user))
             .map(|bytes| decode_state_f32(&bytes))
+    }
+
+    /// Whether a state is currently stored for `user`, without counting as
+    /// store traffic or refreshing eviction recency/frequency — for
+    /// measurement harnesses probing residency (e.g. the cold-start-regret
+    /// eviction study) without perturbing it.
+    pub fn contains_state(&self, user: UserId) -> bool {
+        self.shards[self.shard_index(user)].contains_key(&Self::key(user))
     }
 
     /// Total number of stored states across all shards.
@@ -228,6 +261,49 @@ mod tests {
     }
 
     #[test]
+    fn capacity_sums_exactly_even_when_shards_do_not_divide_it() {
+        // Regression: div_ceil gave every shard ceil(total/shards), so
+        // with_capacity(4, 10) admitted 12 states and reported capacity 12.
+        let store = ShardedStateStore::with_capacity(4, 10);
+        assert_eq!(store.capacity(), Some(10));
+        let shard_caps: Vec<usize> = (0..store.num_shards())
+            .map(|s| store.shard(s).capacity().unwrap())
+            .collect();
+        assert_eq!(shard_caps.iter().sum::<usize>(), 10);
+        assert_eq!(shard_caps, vec![3, 3, 2, 2]);
+        // However traffic hashes, the population can never exceed the bound.
+        for id in 0..5_000u64 {
+            store.put_state(UserId(id), &[id as f32; 4]);
+        }
+        assert!(store.len() <= 10, "len {} exceeds capacity 10", store.len());
+        // An exactly-divisible split stays uniform.
+        let even = ShardedStateStore::with_capacity(8, 64);
+        assert_eq!(even.capacity(), Some(64));
+        for s in 0..8 {
+            assert_eq!(even.shard(s).capacity(), Some(8));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be at least num_shards")]
+    fn capacity_below_shard_count_panics() {
+        let _ = ShardedStateStore::with_capacity(8, 7);
+    }
+
+    #[test]
+    fn frequency_weighted_store_propagates_policy_to_every_shard() {
+        let store =
+            ShardedStateStore::with_capacity_and_policy(4, 10, EvictionPolicy::FrequencyWeighted);
+        assert_eq!(store.capacity(), Some(10));
+        for s in 0..store.num_shards() {
+            assert_eq!(
+                store.shard(s).eviction_policy(),
+                EvictionPolicy::FrequencyWeighted
+            );
+        }
+    }
+
+    #[test]
     fn bounded_store_caps_population_and_counts_evictions() {
         let store = ShardedStateStore::with_capacity(4, 64);
         assert_eq!(store.capacity(), Some(64));
@@ -235,7 +311,7 @@ mod tests {
         for id in 0..1_000u64 {
             store.put_state(UserId(id), &[id as f32; 8]);
         }
-        // Each shard holds at most ceil(64/4) = 16 states.
+        // Each shard holds at most 64/4 = 16 states.
         assert!(store.len() <= 64, "len {} exceeds capacity", store.len());
         for shard in 0..store.num_shards() {
             assert!(store.shard(shard).len() <= 16);
