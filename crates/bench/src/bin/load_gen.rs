@@ -39,6 +39,17 @@
 //! loss vs. that baseline, e.g. `0.05`; exits non-zero when instrumented
 //! batched throughput falls below `(1 - tol) ×` baseline).
 //!
+//! Tracing knobs: `PP_TRACE_SAMPLE` (sample one user in N, default 64;
+//! `0` disables tracing), `PP_TRACE_SEED` (sampling-hash seed, default
+//! 17), `PP_OBS_TRACE` (unset → skip; set to a path to export the batched
+//! mode's sampled spans as Chrome trace-event JSON — open in Perfetto) and
+//! `PP_OBS_REPORT` (unset → skip; set to a path for a JSONL metrics
+//! time-series, one snapshot line per `PP_OBS_REPORT_PERIOD` ms of run
+//! time, default 100). The batched mode's sampled spans also become the
+//! `trace` block of the report: end-to-end p50/p90/p99 decomposed by
+//! lifecycle stage, plus queue-vs-service attribution for the slowest
+//! percentile.
+//!
 //! Results are written to `PP_OUT` in the `BENCH_serving.json` format:
 //! a `config` block, one entry per mode with `sessions_per_sec` and
 //! latency percentiles in microseconds, a `speedup` block, and a `metrics`
@@ -46,7 +57,7 @@
 //! percentiles (batch assembly, forward pass, coalesce wait, store
 //! traffic).
 
-use pp_bench::{env_or, section, Scale};
+use pp_bench::{env_or, print_tail_report, section, Scale};
 use pp_data::schema::DatasetKind;
 use pp_data::synth::{MobileTabGenerator, SyntheticGenerator};
 use pp_rnn::{RnnModel, RnnModelConfig, TaskKind};
@@ -139,6 +150,8 @@ struct BenchReport {
     worker_sweep: Vec<WorkerSweepEntry>,
     eviction_study: Option<EvictionStudy>,
     metrics: pp_obs::Snapshot,
+    /// Sampled-trace latency attribution over the batched mode's spans.
+    trace: pp_obs::TailReport,
 }
 
 fn percentile(sorted_us: &[f64], p: f64) -> f64 {
@@ -166,11 +179,26 @@ fn run_mode(
     clients: usize,
     concurrency: usize,
     max_batch: usize,
+    sink: &mut pp_bench::ReportSink,
 ) -> ModeResult {
+    sink.begin(&format!("{mode}/w{workers}"));
     let engine = BatchServingEngine::start(model.clone(), store.clone(), workers, max_batch);
     let window = (concurrency / clients).max(1);
     let started = Instant::now();
-    let latencies: Vec<Duration> = std::thread::scope(|scope| {
+    let stop_sampler = std::sync::atomic::AtomicBool::new(false);
+    let (latencies, elapsed): (Vec<Duration>, Duration) = std::thread::scope(|scope| {
+        // A sampler thread ticks the metrics time-series on run time (ms
+        // since this mode started) while the clients drive load.
+        let sampler = sink.active().then(|| {
+            let stop = &stop_sampler;
+            let sink = &mut *sink;
+            scope.spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    sink.tick(started.elapsed().as_millis() as i64);
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            })
+        });
         let mut handles = Vec::with_capacity(clients);
         for client in 0..clients {
             let engine = &engine;
@@ -220,12 +248,21 @@ fn run_mode(
                 times
             }));
         }
-        handles
+        let times: Vec<Duration> = handles
             .into_iter()
             .flat_map(|h| h.join().expect("client thread panicked"))
-            .collect()
+            .collect();
+        // Stop the clock before joining the sampler: it sleeps between
+        // ticks, and waiting out its final sleep is not serving time —
+        // folding it in deflates throughput (and trips the overhead gate)
+        // on short runs.
+        let elapsed = started.elapsed();
+        stop_sampler.store(true, std::sync::atomic::Ordering::Relaxed);
+        if let Some(sampler) = sampler {
+            sampler.join().expect("sampler thread panicked");
+        }
+        (times, elapsed)
     });
-    let elapsed = started.elapsed();
     let stats = engine.stats();
     drop(engine);
 
@@ -538,6 +575,9 @@ fn main() {
     }
 
     section("throughput");
+    let report_period: i64 = env_or("PP_OBS_REPORT_PERIOD", 100);
+    let sink = std::sync::Mutex::new(pp_bench::ReportSink::from_env(report_period));
+    let tracer = pp_obs::Tracer::global();
     // The host may be a noisy shared VM; take the best of `runs` repetitions
     // per mode (noise only ever subtracts from capacity).
     let best_of = |mode: &str, batch: usize, workers: usize| -> ModeResult {
@@ -552,13 +592,20 @@ fn main() {
                     clients,
                     concurrency,
                     batch,
+                    &mut sink.lock().expect("report sink"),
                 )
             })
             .max_by(|a, b| a.sessions_per_sec.total_cmp(&b.sessions_per_sec))
             .expect("at least one run")
     };
     let single = best_of("single", 1, workers);
+    // Only the batched mode's spans feed the trace block and export —
+    // discard the single mode's buffers so the attribution describes the
+    // engine configuration the headline numbers come from.
+    let _ = tracer.drain();
     let batched = best_of("batched", max_batch, workers);
+    let spans = tracer.drain();
+    let trace = pp_obs::tail_report(&spans, tracer.config().sample_every, tracer.dropped());
 
     let speedup = Speedup {
         throughput_ratio: batched.sessions_per_sec / single.sessions_per_sec,
@@ -624,9 +671,20 @@ fn main() {
         println!("  forward pass    {}", stage("serving.forward_pass_ns"));
         println!("  coalesce wait   {}", stage("serving.coalesce_wait_ns"));
     }
+    print_tail_report(&trace);
+    if let Ok(trace_path) = std::env::var("PP_OBS_TRACE") {
+        let json = pp_obs::chrome_trace_json(&spans);
+        std::fs::write(&trace_path, json).expect("write trace export");
+        println!(
+            "wrote {trace_path} ({} spans; open in Perfetto / chrome://tracing)",
+            spans.len()
+        );
+    }
     if let Ok(events_path) = std::env::var("PP_OBS_EVENTS") {
-        let events = pp_obs::MetricsRegistry::global().events().drain();
-        let jsonl = pp_obs::EventLog::to_jsonl(&events);
+        let log = pp_obs::MetricsRegistry::global().events();
+        let (dropped, recorded) = (log.dropped(), log.recorded());
+        let events = log.drain();
+        let jsonl = pp_obs::EventLog::to_jsonl_with_footer(&events, dropped, recorded);
         std::fs::write(&events_path, jsonl).expect("write event log");
         println!("wrote {events_path}");
     }
@@ -668,10 +726,12 @@ fn main() {
         worker_sweep,
         eviction_study,
         metrics,
+        trace,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out_path, &json).expect("write benchmark report");
     println!("wrote {out_path}");
+    sink.lock().expect("report sink").summarize();
 
     let mut failures: Vec<String> = Vec::new();
     if let Ok(required) = std::env::var("PP_REQUIRE_SPEEDUP") {

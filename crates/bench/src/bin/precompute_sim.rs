@@ -59,16 +59,27 @@
 //! non-zero when an activity starves under the guaranteed-share policy or
 //! the shared bucket loses to the best static split), `PP_OBS_EVENTS`
 //! (unset → skip; set to a path to drain the `pp-obs` structured event ring
-//! there as JSONL). The report also carries a `metrics` block — the final
-//! `pp-obs` registry snapshot with admission/cache-op latency percentiles
-//! and per-activity admission, precision, and threshold trajectories. Every
-//! report field is documented in `docs/benchmarks.md`.
+//! there as JSONL, with an exact-drop-count footer line).
+//!
+//! Tracing knobs: `PP_TRACE_SAMPLE` (sample one user in N, default 64; `0`
+//! disables tracing), `PP_TRACE_SEED` (sampling-hash seed, default 17),
+//! `PP_OBS_TRACE` (unset → skip; set to a path to export the sampled
+//! wave-admission and cache-insert spans as Chrome trace-event JSON — the
+//! same seed and sample rate as `load_gen` means the spans land in the
+//! *same traces* as that binary's serving spans for the sampled users) and
+//! `PP_OBS_REPORT` (unset → skip; set to a path for a JSONL metrics
+//! time-series, one snapshot line per `PP_OBS_REPORT_PERIOD` seconds of
+//! traffic time, default 3600). The sampled spans also become the `trace`
+//! block of the report. The report also carries a `metrics` block — the
+//! final `pp-obs` registry snapshot with admission/cache-op latency
+//! percentiles and per-activity admission, precision, and threshold
+//! trajectories. Every report field is documented in `docs/benchmarks.md`.
 //!
 //! Hard invariants are asserted on every run regardless of knobs: outcome
 //! accounting exactly balances decisions (conservation), the budget is
 //! never overdrawn, and per-activity spends sum to the total bucket drain.
 
-use pp_bench::{env_or, section, Scale};
+use pp_bench::{env_or, print_tail_report, section, ReportSink, Scale};
 use pp_core::PrecomputePolicy;
 use pp_data::schema::{Context, Dataset, DatasetKind, Tab, UserId};
 use pp_data::synth::{MobileTabGenerator, MpuGenerator, SyntheticGenerator, TimeshiftGenerator};
@@ -338,6 +349,7 @@ struct SimReport {
     learned_loop: Option<LearnedLoopReport>,
     mixed_traffic: Option<MixedTrafficReport>,
     metrics: pp_obs::Snapshot,
+    trace: pp_obs::TailReport,
 }
 
 /// Seeded noisy oracle: a logistic-noise score centered above the
@@ -527,8 +539,10 @@ fn replay(
     mut system: PrecomputeSystem,
     scorer: &mut dyn WaveScorer,
     tolerance: f64,
+    sink: &mut ReportSink,
 ) -> ScenarioResult {
     let threshold_initial = system.controller().threshold();
+    sink.begin(name);
 
     // Waves: consecutive events sharing a one-minute bucket, cut when a
     // user repeats (one outstanding decision per user) or at max_wave.
@@ -566,6 +580,7 @@ fn replay(
                 .expect("every wave entry has a pending decision");
         }
         scorer.on_wave_resolved(&wave);
+        sink.tick(now);
         waves += 1;
         if halfway.is_none() && i >= events.len() / 2 {
             halfway = Some(system.tracker().counts());
@@ -640,20 +655,26 @@ fn run_oracle_scenario(
     events: &[Event],
     sim: &SimConfig,
     tolerance: f64,
+    sink: &mut ReportSink,
 ) -> ScenarioResult {
     let system =
         PrecomputeSystem::new(sim.system(sim.initial_threshold, AdmissionOrder::Fifo, false));
     let mut scorer = OracleScorer {
         rng: StdRng::seed_from_u64(sim.seed ^ 0x5c0_7e5),
     };
-    replay(name, events, sim, system, &mut scorer, tolerance)
+    replay(name, events, sim, system, &mut scorer, tolerance, sink)
 }
 
 /// Trains the RNN on the warmup split, offline-calibrates its threshold for
 /// the precision target, then replays the held-out users' traffic with
 /// learned scores, outcome-driven recalibration, and the FIFO-vs-priority
 /// comparison at an equal tight budget.
-fn run_learned_loop(dataset: &Dataset, sim: &SimConfig, tolerance: f64) -> LearnedLoopReport {
+fn run_learned_loop(
+    dataset: &Dataset,
+    sim: &SimConfig,
+    tolerance: f64,
+    sink: &mut ReportSink,
+) -> LearnedLoopReport {
     let train_users = sim.train_users.min(dataset.users.len() / 2);
     let train_idx: Vec<usize> = (0..train_users).collect();
     let serve_idx: Vec<usize> = (train_users..dataset.users.len()).collect();
@@ -745,14 +766,22 @@ fn run_learned_loop(dataset: &Dataset, sim: &SimConfig, tolerance: f64) -> Learn
     };
 
     // Oracle baseline on the identical live traffic.
-    let oracle = run_oracle_scenario("oracle", live_events, sim, tolerance);
+    let oracle = run_oracle_scenario("oracle", live_events, sim, tolerance, sink);
 
     // The learned closed loop: RNN scores + recalibration from outcomes.
     let learned = {
         let system =
             PrecomputeSystem::new(sim.system(calibrated_threshold, AdmissionOrder::Fifo, true));
         let mut scorer = warmed_scorer(warm_events);
-        replay("learned", live_events, sim, system, &mut scorer, tolerance)
+        replay(
+            "learned",
+            live_events,
+            sim,
+            system,
+            &mut scorer,
+            tolerance,
+            sink,
+        )
     };
 
     // FIFO vs priority at an equal, deliberately tight budget, on the
@@ -772,13 +801,21 @@ fn run_learned_loop(dataset: &Dataset, sim: &SimConfig, tolerance: f64) -> Learn
         ),
         ..*sim
     };
-    let admission_run = |name: &str, admission| {
+    let admission_run = |name: &str, admission, sink: &mut ReportSink| {
         let system = PrecomputeSystem::new(tight.system(calibrated_threshold, admission, true));
         let mut scorer = warmed_scorer(&bursty_warm);
-        replay(name, &bursty_events, &tight, system, &mut scorer, tolerance)
+        replay(
+            name,
+            &bursty_events,
+            &tight,
+            system,
+            &mut scorer,
+            tolerance,
+            sink,
+        )
     };
-    let fifo = admission_run("fifo_tight", AdmissionOrder::Fifo);
-    let priority = admission_run("priority_tight", AdmissionOrder::Priority);
+    let fifo = admission_run("fifo_tight", AdmissionOrder::Fifo, sink);
+    let priority = admission_run("priority_tight", AdmissionOrder::Priority, sink);
     // Equal budget means the same bucket configuration; the exact spend can
     // drift by a handful of prefetches because admission order perturbs
     // which sessions hold cache and inflight slots downstream. Beyond a few
@@ -866,8 +903,10 @@ fn replay_tagged(
     max_wave: usize,
     mut system: PrecomputeSystem,
     rngs: &mut ActivityMap<StdRng>,
+    sink: &mut ReportSink,
 ) -> PrecomputeSystem {
     let noise = mixed_noise_scales();
+    sink.begin(name);
     let mut i = 0usize;
     while i < events.len() {
         let bucket = events[i].timestamp / 60;
@@ -905,6 +944,7 @@ fn replay_tagged(
                 .resolve_session(event.user, now + dwell, event.accessed)
                 .expect("every wave entry has a pending decision");
         }
+        sink.tick(now);
     }
     system
         .check_invariants()
@@ -923,7 +963,7 @@ fn mixed_rngs(seed: u64) -> ActivityMap<StdRng> {
 /// policy, with per-activity precision/recall/spend accounting, a Jain
 /// fairness index, and a static per-activity budget split as the baseline
 /// the shared bucket must beat.
-fn run_mixed_traffic(scale: &Scale, sim: &SimConfig) -> MixedTrafficReport {
+fn run_mixed_traffic(scale: &Scale, sim: &SimConfig, sink: &mut ReportSink) -> MixedTrafficReport {
     // Three activities, three generators, one common clock.
     let mut mt_config = scale.mobiletab();
     mt_config.seed = scale.seed;
@@ -1081,6 +1121,7 @@ fn run_mixed_traffic(scale: &Scale, sim: &SimConfig) -> MixedTrafficReport {
                         sim.max_wave,
                         PrecomputeSystem::new(config),
                         &mut rngs,
+                        sink,
                     );
                     system.report().outcomes.hits
                 })
@@ -1114,7 +1155,7 @@ fn run_mixed_traffic(scale: &Scale, sim: &SimConfig) -> MixedTrafficReport {
         }
     });
 
-    let run_policy = |fairness: FairnessPolicy| -> MixedPolicyResult {
+    let run_policy = |fairness: FairnessPolicy, sink: &mut ReportSink| -> MixedPolicyResult {
         let system = PrecomputeSystem::new_multi(
             base_config,
             MultiActivityConfig {
@@ -1130,6 +1171,7 @@ fn run_mixed_traffic(scale: &Scale, sim: &SimConfig) -> MixedTrafficReport {
             sim.max_wave,
             system,
             &mut rngs,
+            sink,
         );
         let total = system.report();
         let total_hits = total.outcomes.hits;
@@ -1209,11 +1251,14 @@ fn run_mixed_traffic(scale: &Scale, sim: &SimConfig) -> MixedTrafficReport {
     };
 
     let policies = vec![
-        run_policy(FairnessPolicy::Greedy),
-        run_policy(FairnessPolicy::GuaranteedShare { floors }),
-        run_policy(FairnessPolicy::DeficitRoundRobin {
-            weights: drr_weights,
-        }),
+        run_policy(FairnessPolicy::Greedy, sink),
+        run_policy(FairnessPolicy::GuaranteedShare { floors }, sink),
+        run_policy(
+            FairnessPolicy::DeficitRoundRobin {
+                weights: drr_weights,
+            },
+            sink,
+        ),
     ];
 
     let guaranteed = policies
@@ -1375,6 +1420,10 @@ fn main() {
     let gain: f64 = env_or("PP_GAIN", 1.0);
     let max_wave: usize = env_or("PP_MAX_WAVE", 256);
     let out_path = std::env::var("PP_OUT").unwrap_or_else(|_| "BENCH_precompute.json".to_string());
+    // The simulators run on traffic time (seconds), so the report period is
+    // traffic-seconds — hourly snapshots by default.
+    let mut sink = ReportSink::from_env(env_or("PP_OBS_REPORT_PERIOD", 3_600));
+    let tracer = pp_obs::Tracer::global();
 
     section("precompute_sim: budget-aware precompute on seeded MobileTab traffic");
     let dataset = build_dataset(scale.users, scale.days, scale.seed);
@@ -1445,7 +1494,13 @@ fn main() {
     {
         section("oracle scenarios");
         if selection.includes_oracle("cold_start") {
-            scenarios.push(run_oracle_scenario("cold_start", &events, &sim, tolerance));
+            scenarios.push(run_oracle_scenario(
+                "cold_start",
+                &events,
+                &sim,
+                tolerance,
+                &mut sink,
+            ));
         }
         if selection.includes_oracle("bursty") {
             scenarios.push(run_oracle_scenario(
@@ -1453,6 +1508,7 @@ fn main() {
                 &burstify(&events),
                 &sim,
                 tolerance,
+                &mut sink,
             ));
         }
         if selection.includes_oracle("diurnal") {
@@ -1461,20 +1517,26 @@ fn main() {
                 &diurnalize(&events, scale.seed),
                 &sim,
                 tolerance,
+                &mut sink,
             ));
         }
     }
 
     let learned_loop = if selection.includes_learned_loop() {
         section("learned loop: in-sim-trained RNN with outcome-driven recalibration");
-        Some(run_learned_loop(&dataset, &sim, learned_tolerance))
+        Some(run_learned_loop(
+            &dataset,
+            &sim,
+            learned_tolerance,
+            &mut sink,
+        ))
     } else {
         None
     };
 
     let mixed_traffic = if selection.includes_mixed_traffic() {
         section("mixed traffic: MobileTab + Timeshift + MPU under one shared budget");
-        Some(run_mixed_traffic(&scale, &sim))
+        Some(run_mixed_traffic(&scale, &sim, &mut sink))
     } else {
         None
     };
@@ -1523,13 +1585,26 @@ fn main() {
             );
         }
         println!(
-            "  events buffered {} (dropped {})",
-            metrics.events_buffered, metrics.events_dropped
+            "  events buffered {} (dropped {}, recorded {})",
+            metrics.events_buffered, metrics.events_dropped, metrics.events_recorded
+        );
+    }
+    let spans = tracer.drain();
+    let trace = pp_obs::tail_report(&spans, tracer.config().sample_every, tracer.dropped());
+    print_tail_report(&trace);
+    if let Ok(trace_path) = std::env::var("PP_OBS_TRACE") {
+        let json = pp_obs::chrome_trace_json(&spans);
+        std::fs::write(&trace_path, json).expect("write trace export");
+        println!(
+            "wrote {trace_path} ({} spans; open in Perfetto / chrome://tracing)",
+            spans.len()
         );
     }
     if let Ok(events_path) = std::env::var("PP_OBS_EVENTS") {
-        let events = pp_obs::MetricsRegistry::global().events().drain();
-        let jsonl = pp_obs::EventLog::to_jsonl(&events);
+        let log = pp_obs::MetricsRegistry::global().events();
+        let (dropped, recorded) = (log.dropped(), log.recorded());
+        let events = log.drain();
+        let jsonl = pp_obs::EventLog::to_jsonl_with_footer(&events, dropped, recorded);
         std::fs::write(&events_path, jsonl).expect("write event log");
         println!("wrote {events_path}");
     }
@@ -1542,9 +1617,11 @@ fn main() {
         learned_loop,
         mixed_traffic,
         metrics,
+        trace,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out_path, &json).expect("write benchmark report");
+    sink.summarize();
     println!("\nwrote {out_path}");
 
     let mut failures: Vec<String> = Vec::new();

@@ -1,0 +1,121 @@
+//! `trace_check` — CI validator for a `PP_OBS_TRACE` Chrome trace-event
+//! export. Exits non-zero unless the file parses as trace-event JSON and
+//! contains complete (`ph == "X"`) spans covering every serving lifecycle
+//! stage, with at least one request span linked (via `args.batch`) to a
+//! batch span.
+//!
+//! Usage: `trace_check <trace.json> [--expect-precompute]`
+//!
+//! `--expect-precompute` additionally requires the precompute-loop stages
+//! (`wave_admission`, `cache_insert`), for traces produced by
+//! `precompute_sim` or a combined run.
+
+use serde::Value;
+
+/// The serving stages every batched `load_gen` trace must contain.
+/// `state_write_back` is optional: predict-only traffic never emits it.
+const REQUIRED_SERVING: [&str; 7] = [
+    "request",
+    "queue_wait",
+    "coalesce_hold",
+    "batch_assembly",
+    "forward_pass",
+    "reply",
+    "batch",
+];
+const REQUIRED_PRECOMPUTE: [&str; 2] = ["wave_admission", "cache_insert"];
+
+fn field<'a>(object: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
+    object.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("trace_check: FAIL: {message}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| fail("usage: trace_check <trace.json> [--expect-precompute]"));
+    let expect_precompute = args.iter().any(|a| a == "--expect-precompute");
+
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+    let root: Value = serde_json::from_str(&text)
+        .unwrap_or_else(|e| fail(&format!("{path}: not valid JSON: {e:?}")));
+    let root = root
+        .as_object()
+        .unwrap_or_else(|| fail("top level is not an object"));
+    let events = field(root, "traceEvents")
+        .and_then(Value::as_array)
+        .unwrap_or_else(|| fail("no traceEvents array"));
+    if events.is_empty() {
+        fail("traceEvents is empty — was tracing sampled away? (set PP_TRACE_SAMPLE=1)");
+    }
+
+    let mut stage_counts: std::collections::BTreeMap<String, u64> = Default::default();
+    let mut request_batches: std::collections::HashSet<u64> = Default::default();
+    let mut batch_spans: std::collections::HashSet<u64> = Default::default();
+    for (i, event) in events.iter().enumerate() {
+        let event = event
+            .as_object()
+            .unwrap_or_else(|| fail(&format!("traceEvents[{i}] is not an object")));
+        let name = field(event, "name")
+            .and_then(Value::as_str)
+            .unwrap_or_else(|| fail(&format!("traceEvents[{i}] has no name")));
+        let ph = field(event, "ph").and_then(Value::as_str).unwrap_or("");
+        if ph != "X" {
+            fail(&format!(
+                "traceEvents[{i}] ({name}) is not a complete event: ph={ph:?}"
+            ));
+        }
+        for key in ["ts", "dur", "pid", "tid"] {
+            if field(event, key).and_then(Value::as_f64).is_none() {
+                fail(&format!("traceEvents[{i}] ({name}) missing numeric {key}"));
+            }
+        }
+        let span_args = field(event, "args")
+            .and_then(Value::as_object)
+            .unwrap_or_else(|| fail(&format!("traceEvents[{i}] ({name}) has no args")));
+        let batch = field(span_args, "batch").and_then(Value::as_u64);
+        match name {
+            "request" => {
+                request_batches.extend(batch);
+            }
+            "batch" | "wave_admission" => {
+                batch_spans.extend(batch);
+            }
+            _ => {}
+        }
+        *stage_counts.entry(name.to_string()).or_default() += 1;
+    }
+
+    let mut required: Vec<&str> = REQUIRED_SERVING.to_vec();
+    if expect_precompute {
+        required.extend(REQUIRED_PRECOMPUTE);
+    }
+    for stage in required {
+        if !stage_counts.contains_key(stage) {
+            fail(&format!(
+                "no {stage:?} spans (found: {:?})",
+                stage_counts.keys().collect::<Vec<_>>()
+            ));
+        }
+    }
+    if !request_batches.iter().any(|b| batch_spans.contains(b)) {
+        fail("no request span links (args.batch) to an exported batch span");
+    }
+
+    println!(
+        "trace_check: OK: {} complete spans across {} stages ({})",
+        events.len(),
+        stage_counts.len(),
+        stage_counts
+            .iter()
+            .map(|(name, count)| format!("{name}:{count}"))
+            .collect::<Vec<_>>()
+            .join(" "),
+    );
+}

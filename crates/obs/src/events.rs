@@ -170,6 +170,23 @@ impl EventLog {
         }
         out
     }
+
+    /// Renders events as JSON Lines followed by a `{"footer":true,...}`
+    /// accounting line, so a truncated dump is distinguishable from a
+    /// complete one and silent drops are visible in the artifact itself.
+    /// `dropped`/`recorded` come from the log that buffered the events
+    /// ([`EventLog::dropped`] / [`EventLog::recorded`]).
+    #[must_use]
+    pub fn to_jsonl_with_footer(events: &[Event], dropped: u64, recorded: u64) -> String {
+        let mut out = Self::to_jsonl(events);
+        out.push_str(&format!(
+            "{{\"footer\":true,\"events\":{},\"events_dropped\":{},\"events_recorded\":{}}}\n",
+            events.len(),
+            dropped,
+            recorded,
+        ));
+        out
+    }
 }
 
 #[cfg(test)]
@@ -194,6 +211,29 @@ mod tests {
         // Sequence numbers keep advancing after a drain.
         log.record(99, EventKind::BudgetExhausted, "", 0.0);
         assert_eq!(log.drain()[0].seq, 50);
+    }
+
+    #[test]
+    fn overfilled_ring_reports_the_exact_drop_count_in_the_footer() {
+        let log = EventLog::new(8);
+        for i in 0..50i64 {
+            log.record(i, EventKind::EvictionStorm, "prefetch_cache", i as f64);
+        }
+        let (dropped, recorded) = (log.dropped(), log.recorded());
+        let events = log.drain();
+        let jsonl = EventLog::to_jsonl_with_footer(&events, dropped, recorded);
+        assert_eq!(jsonl.lines().count(), 9, "8 events + 1 footer");
+        let footer: serde::Value = serde_json::from_str(jsonl.lines().last().unwrap()).unwrap();
+        let pairs = footer.as_object().expect("footer object");
+        let get = |k: &str| {
+            pairs
+                .iter()
+                .find(|(key, _)| key == k)
+                .and_then(|(_, v)| v.as_u64())
+        };
+        assert_eq!(get("events"), Some(8));
+        assert_eq!(get("events_dropped"), Some(42));
+        assert_eq!(get("events_recorded"), Some(50));
     }
 
     #[test]

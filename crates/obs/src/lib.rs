@@ -15,7 +15,11 @@
 //!   recalibration windows), drainable to JSONL;
 //! * [`registry`] — the global-or-injected [`MetricsRegistry`] handing out
 //!   named metric handles, its serializable [`Snapshot`], and the periodic
-//!   [`Reporter`].
+//!   [`Reporter`];
+//! * [`trace`] — the sampled per-request [`Tracer`] (deterministic
+//!   seeded-hash sampling, bounded per-worker [`Span`] buffers), the
+//!   Chrome trace-event exporter [`chrome_trace_json`], and the
+//!   [`TailReport`] latency attribution.
 //!
 //! ## Compiled-out mode
 //!
@@ -31,11 +35,16 @@
 pub mod events;
 pub mod metrics;
 pub mod registry;
+pub mod trace;
 
 pub use events::{Event, EventKind, EventLog};
 pub use metrics::{Counter, Gauge, Histogram, SpanTimer, Stopwatch};
 pub use registry::{
     CounterSnapshot, GaugeSnapshot, HistogramSnapshot, MetricsRegistry, Reporter, Snapshot,
+};
+pub use trace::{
+    chrome_trace_json, tail_report, Span, SpanBuilder, SpanId, Stage, StageTail, TailReport,
+    TraceId, Tracer, TracerConfig,
 };
 
 /// Whether instrumentation is compiled in (the `enabled` cargo feature).

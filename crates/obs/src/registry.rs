@@ -143,6 +143,7 @@ impl MetricsRegistry {
             histograms,
             events_buffered: self.events.len() as u64,
             events_dropped: self.events.dropped(),
+            events_recorded: self.events.recorded(),
         }
     }
 }
@@ -201,8 +202,11 @@ pub struct Snapshot {
     pub histograms: Vec<HistogramSnapshot>,
     /// Events sitting in the ring at snapshot time.
     pub events_buffered: u64,
-    /// Events dropped by the ring bound so far.
+    /// Events dropped by the ring bound so far — non-zero means the
+    /// JSONL dump is missing that many oldest events.
     pub events_dropped: u64,
+    /// Total events ever recorded (buffered + drained + dropped).
+    pub events_recorded: u64,
 }
 
 impl Snapshot {
@@ -256,6 +260,14 @@ impl Reporter {
             }
         }
     }
+
+    /// Forgets the last tick, so the next one always reports. Call when
+    /// the caller's clock restarts (e.g. a new simulator scenario) —
+    /// otherwise a clock that jumps backwards yields a negative delta
+    /// and the reporter never fires again.
+    pub fn reset(&mut self) {
+        self.last = None;
+    }
 }
 
 #[cfg(test)]
@@ -294,6 +306,36 @@ mod tests {
         assert!(json.contains("\"serving.predictions\""));
         assert!(json.contains("\"events_buffered\":1"));
         assert!(json.contains("\"enabled\":true"));
+    }
+
+    #[test]
+    fn overfilling_the_ring_surfaces_the_exact_drop_count_in_the_snapshot() {
+        let registry = MetricsRegistry::with_event_capacity(8);
+        for i in 0..50i64 {
+            registry
+                .events()
+                .record(i, EventKind::ThresholdMove, "MobileTab", i as f64);
+        }
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.events_buffered, 8);
+        assert_eq!(snapshot.events_dropped, 42);
+        assert_eq!(snapshot.events_recorded, 50);
+        let json = serde_json::to_string(&snapshot).unwrap();
+        assert!(json.contains("\"events_dropped\":42"));
+        assert!(json.contains("\"events_recorded\":50"));
+    }
+
+    #[test]
+    fn reporter_reset_survives_a_clock_restart() {
+        let registry = MetricsRegistry::new();
+        let mut reporter = Reporter::new(10);
+        assert!(reporter.tick(&registry, 100).is_some());
+        // The clock restarted (new scenario): without a reset the delta
+        // is negative forever and the reporter never fires again.
+        reporter.reset();
+        assert!(reporter.tick(&registry, 0).is_some());
+        assert!(reporter.tick(&registry, 5).is_none());
+        assert!(reporter.tick(&registry, 10).is_some());
     }
 
     #[test]

@@ -339,11 +339,39 @@ impl PrecomputeSystem {
             .map(|&i| (decisions[i].activity, decisions[i].probability))
             .collect();
         let obs = crate::obs::PrecomputeObs::global();
+        // Trace the admission pass when the wave carries at least one
+        // sampled candidate: the wave-level `wave_admission` span and the
+        // per-user `cache_insert` spans share a wave sequence number, and
+        // each insert span carries the *user's* trace id — the same id the
+        // serving engine stamped on that user's `predict_many_blocking`
+        // spans — so one trace follows predict → decide → act.
+        let tracer = pp_obs::Tracer::global();
+        let wave_traced = tracer.enabled()
+            && candidates
+                .iter()
+                .any(|&i| tracer.sampled(decisions[i].user_id.0));
+        let wave_id = if wave_traced {
+            tracer.next_batch_id()
+        } else {
+            0
+        };
+        let admit_span = wave_traced.then(pp_obs::SpanBuilder::start);
         let admitting = pp_obs::Stopwatch::start();
         let admissions = self
             .scheduler
             .admit_wave_tagged(now, &tagged, self.admission);
         admitting.record(&obs.admission_ns);
+        if let Some(builder) = admit_span {
+            builder.finish(
+                tracer,
+                pp_obs::TraceId(wave_id.max(1)),
+                pp_obs::SpanId::NONE,
+                pp_obs::Stage::WaveAdmission,
+                pp_obs::Span::WAVE_WORKER,
+                0,
+                wave_id,
+            );
+        }
         if !candidates.is_empty() {
             obs.wave_size.record(candidates.len() as u64);
         }
@@ -353,11 +381,25 @@ impl PrecomputeSystem {
             match admission {
                 AdmitResult::Admitted => {
                     obs.admitted[activity].inc();
+                    let user = decisions[i].user_id.0;
+                    let insert_span =
+                        (wave_traced && tracer.sampled(user)).then(pp_obs::SpanBuilder::start);
                     self.cache.insert(
                         decisions[i].user_id,
                         Bytes::from(vec![0u8; self.payload_bytes]),
                         now,
                     );
+                    if let Some(builder) = insert_span {
+                        builder.finish(
+                            tracer,
+                            tracer.trace_for(user),
+                            pp_obs::SpanId::NONE,
+                            pp_obs::Stage::CacheInsert,
+                            pp_obs::Span::WAVE_WORKER,
+                            user,
+                            wave_id,
+                        );
+                    }
                 }
                 AdmitResult::DeniedBudget | AdmitResult::DeniedInflight => {
                     obs.denied[activity].inc();

@@ -212,7 +212,7 @@ impl<'a> BatchScheduler<'a> {
     fn serve_chunks(&mut self, requests: &[PredictRequest]) -> Vec<Prediction> {
         let mut out = Vec::with_capacity(requests.len());
         for chunk in requests.chunks(self.max_batch) {
-            out.extend(predict_chunk(self.model, self.store, chunk));
+            out.extend(predict_chunk(self.model, self.store, chunk, None));
             self.stats.predictions += chunk.len() as u64;
             self.stats.batches += 1;
             self.stats.largest_batch = self.stats.largest_batch.max(chunk.len());
@@ -295,14 +295,45 @@ impl<'a> BatchScheduler<'a> {
     }
 }
 
+/// Stage boundaries of one traced batch execution, on the wall clock the
+/// tracer translates to its own epoch. Initialized to the execution start
+/// and advanced by `predict_chunk` / `update_chunk` as stages complete, so
+/// untouched marks yield zero-length (never negative) stage spans.
+#[derive(Debug, Clone, Copy)]
+struct BatchMarks {
+    /// When the worker stopped gathering/coalescing and began executing.
+    exec_start: std::time::Instant,
+    /// State fetch + featurization done.
+    assembly_done: std::time::Instant,
+    /// Forward pass done.
+    forward_done: std::time::Instant,
+    /// Hidden-state write-back done (equals `forward_done` for predict
+    /// batches, which write no state).
+    writeback_done: std::time::Instant,
+}
+
+impl BatchMarks {
+    fn start() -> Self {
+        let now = std::time::Instant::now();
+        Self {
+            exec_start: now,
+            assembly_done: now,
+            forward_done: now,
+            writeback_done: now,
+        }
+    }
+}
+
 /// Serves one chunk of predictions (shared by the scheduler and the
 /// threaded engine); callers account for batching statistics themselves.
 /// Singleton chunks take the plain single-request path so `max_batch = 1`
-/// reproduces the baseline exactly.
+/// reproduces the baseline exactly. `marks` (traced engine batches only)
+/// receives the stage boundaries for span emission.
 fn predict_chunk(
     model: &RnnModel,
     store: &ShardedStateStore,
     chunk: &[PredictRequest],
+    mut marks: Option<&mut BatchMarks>,
 ) -> Vec<Prediction> {
     let obs = crate::obs::ServingObs::global();
     obs.batch_size.record(chunk.len() as u64);
@@ -324,6 +355,9 @@ fn predict_chunk(
         })
         .collect();
     assembly.record(&obs.batch_assembly_ns);
+    if let Some(marks) = marks.as_mut() {
+        marks.assembly_done = std::time::Instant::now();
+    }
     let forward = pp_obs::Stopwatch::start();
     let probabilities = if chunk.len() == 1 {
         vec![model.predict_proba(&states[0], &inputs[0])]
@@ -331,6 +365,11 @@ fn predict_chunk(
         model.predict_proba_batch(&states, &inputs)
     };
     forward.record(&obs.forward_pass_ns);
+    if let Some(marks) = marks {
+        let now = std::time::Instant::now();
+        marks.forward_done = now;
+        marks.writeback_done = now;
+    }
     chunk
         .iter()
         .zip(probabilities)
@@ -371,6 +410,26 @@ struct Job {
     /// observes the queue, so queue residence while workers are busy counts
     /// against the coalesce budget instead of being added on top of it.
     arrived: std::time::Instant,
+    /// Whether this job's user is in the tracer's sampled subset
+    /// (decided once, at submission — workers never re-hash).
+    traced: bool,
+    /// When a worker claimed the job out of its shard queue (stamped in
+    /// `gather`, traced jobs only) — the queue-wait / coalesce-hold
+    /// boundary in the job's span tree.
+    claimed: Option<std::time::Instant>,
+}
+
+impl Job {
+    fn new(kind: JobKind, arrived: std::time::Instant) -> Self {
+        let tracer = pp_obs::Tracer::global();
+        let traced = tracer.enabled() && tracer.sampled(kind.user_id().0);
+        Self {
+            kind,
+            arrived,
+            traced,
+            claimed: None,
+        }
+    }
 }
 
 /// One shard's job queue. A user's jobs always land in the queue of the
@@ -647,10 +706,10 @@ impl BatchServingEngine {
     /// worker has served its batch.
     pub fn submit(&self, request: PredictRequest) -> mpsc::Receiver<Prediction> {
         let (reply, receiver) = mpsc::channel();
-        self.enqueue(vec![Job {
-            kind: JobKind::Predict { request, reply },
-            arrived: std::time::Instant::now(),
-        }]);
+        self.enqueue(vec![Job::new(
+            JobKind::Predict { request, reply },
+            std::time::Instant::now(),
+        )]);
         receiver
     }
 
@@ -666,10 +725,7 @@ impl BatchServingEngine {
             .map(|&request| {
                 let (reply, receiver) = mpsc::channel();
                 receivers.push(receiver);
-                Job {
-                    kind: JobKind::Predict { request, reply },
-                    arrived,
-                }
+                Job::new(JobKind::Predict { request, reply }, arrived)
             })
             .collect();
         self.enqueue(jobs);
@@ -682,10 +738,10 @@ impl BatchServingEngine {
     /// (they share the user's home-shard queue).
     pub fn submit_update(&self, request: UpdateRequest) -> mpsc::Receiver<()> {
         let (reply, receiver) = mpsc::channel();
-        self.enqueue(vec![Job {
-            kind: JobKind::Update { request, reply },
-            arrived: std::time::Instant::now(),
-        }]);
+        self.enqueue(vec![Job::new(
+            JobKind::Update { request, reply },
+            std::time::Instant::now(),
+        )]);
         receiver
     }
 
@@ -698,10 +754,7 @@ impl BatchServingEngine {
             .map(|&request| {
                 let (reply, receiver) = mpsc::channel();
                 receivers.push(receiver);
-                Job {
-                    kind: JobKind::Update { request, reply },
-                    arrived,
-                }
+                Job::new(JobKind::Update { request, reply }, arrived)
             })
             .collect();
         self.enqueue(jobs);
@@ -785,8 +838,14 @@ impl Drop for BatchServingEngine {
 }
 
 /// Advances and re-stores one chunk of session-close updates; callers
-/// guarantee the chunk holds each user at most once.
-fn update_chunk(model: &RnnModel, store: &ShardedStateStore, chunk: &[UpdateRequest]) {
+/// guarantee the chunk holds each user at most once. `marks` (traced
+/// engine batches only) receives the stage boundaries for span emission.
+fn update_chunk(
+    model: &RnnModel,
+    store: &ShardedStateStore,
+    chunk: &[UpdateRequest],
+    mut marks: Option<&mut BatchMarks>,
+) {
     let obs = crate::obs::ServingObs::global();
     obs.batch_size.record(chunk.len() as u64);
     let assembly = pp_obs::Stopwatch::start();
@@ -807,6 +866,9 @@ fn update_chunk(model: &RnnModel, store: &ShardedStateStore, chunk: &[UpdateRequ
         })
         .collect();
     assembly.record(&obs.batch_assembly_ns);
+    if let Some(marks) = marks.as_mut() {
+        marks.assembly_done = std::time::Instant::now();
+    }
     let forward = pp_obs::Stopwatch::start();
     let next_states = if chunk.len() == 1 {
         vec![model.advance_state(&states[0], &inputs[0])]
@@ -814,8 +876,14 @@ fn update_chunk(model: &RnnModel, store: &ShardedStateStore, chunk: &[UpdateRequ
         model.advance_state_batch(&states, &inputs)
     };
     forward.record(&obs.forward_pass_ns);
+    if let Some(marks) = marks.as_mut() {
+        marks.forward_done = std::time::Instant::now();
+    }
     for (request, next) in chunk.iter().zip(&next_states) {
         store.put_state(request.user_id, next);
+    }
+    if let Some(marks) = marks {
+        marks.writeback_done = std::time::Instant::now();
     }
 }
 
@@ -863,6 +931,9 @@ fn gather(
         }
         let mut drained = 0usize;
         {
+            // One lazy clock read per drained queue, shared by every traced
+            // job claimed from it (untraced batches never read the clock).
+            let mut claim_now: Option<std::time::Instant> = None;
             let mut q = queue.jobs.lock().expect("shard queue");
             while batch.jobs.len() < shared.max_batch {
                 let Some(front) = q.front() else { break };
@@ -878,7 +949,11 @@ fn gather(
                     // batch so it reads the state the first one writes.
                     break;
                 }
-                batch.jobs.push(q.pop_front().expect("front exists"));
+                let mut job = q.pop_front().expect("front exists");
+                if job.traced {
+                    job.claimed = Some(*claim_now.get_or_insert_with(std::time::Instant::now));
+                }
+                batch.jobs.push(job);
                 drained += 1;
             }
             queue.len.store(q.len(), Ordering::Release);
@@ -988,6 +1063,15 @@ fn worker_loop(shared: &EngineShared, worker: usize) {
         }
         let depth = shared.queued.fetch_sub(size, Ordering::Relaxed) - size;
         obs.queue_depth.set(depth as f64);
+        // Traced batches (any sampled member) get stage marks; everyone
+        // else skips every clock read below.
+        let tracer = pp_obs::Tracer::global();
+        let mut marks = if tracer.enabled() && batch.jobs.iter().any(|j| j.traced) {
+            Some(BatchMarks::start())
+        } else {
+            None
+        };
+        let is_update = matches!(batch.jobs[0].kind, JobKind::Update { .. });
         match batch.jobs[0].kind {
             JobKind::Predict { .. } => {
                 let requests: Vec<PredictRequest> = batch
@@ -998,7 +1082,8 @@ fn worker_loop(shared: &EngineShared, worker: usize) {
                         JobKind::Update { .. } => unreachable!("batches are kind-homogeneous"),
                     })
                     .collect();
-                let predictions = predict_chunk(&shared.model, &shared.store, &requests);
+                let predictions =
+                    predict_chunk(&shared.model, &shared.store, &requests, marks.as_mut());
                 shared.predictions.fetch_add(size as u64, Ordering::Relaxed);
                 counters
                     .predictions
@@ -1020,7 +1105,7 @@ fn worker_loop(shared: &EngineShared, worker: usize) {
                         JobKind::Predict { .. } => unreachable!("batches are kind-homogeneous"),
                     })
                     .collect();
-                update_chunk(&shared.model, &shared.store, &requests);
+                update_chunk(&shared.model, &shared.store, &requests, marks.as_mut());
                 shared.updates.fetch_add(size as u64, Ordering::Relaxed);
                 counters.updates.fetch_add(size as u64, Ordering::Relaxed);
                 for job in &batch.jobs {
@@ -1029,6 +1114,9 @@ fn worker_loop(shared: &EngineShared, worker: usize) {
                     }
                 }
             }
+        }
+        if let Some(marks) = marks {
+            emit_batch_spans(tracer, worker, &batch.jobs, &marks, is_update);
         }
 
         // Claims release only now — after the batch's state reads and
@@ -1039,6 +1127,85 @@ fn worker_loop(shared: &EngineShared, worker: usize) {
         }
         shared.bump_work_gen();
     }
+}
+
+/// Emits the span tree for one served batch containing at least one traced
+/// job: per traced member a `request` root (arrival → reply sent) tiled
+/// exactly by its stage children, plus one `batch` span covering first
+/// claim → last reply whose `batch` sequence number every member carries —
+/// the link Perfetto (and the well-formedness tests) use to group a batch's
+/// jobs. Runs after the replies, entirely off the reply path.
+fn emit_batch_spans(
+    tracer: &pp_obs::Tracer,
+    worker: usize,
+    jobs: &[Job],
+    marks: &BatchMarks,
+    is_update: bool,
+) {
+    use pp_obs::{Span, SpanId, Stage, TraceId};
+    let batch_id = tracer.next_batch_id();
+    let worker = worker as u32;
+    let done_ns = tracer.now_ns();
+    let exec_ns = tracer.clock_ns(marks.exec_start);
+    let assembly_ns = tracer.clock_ns(marks.assembly_done);
+    let forward_ns = tracer.clock_ns(marks.forward_done);
+    let writeback_ns = tracer.clock_ns(marks.writeback_done);
+    let mut batch_start_ns = exec_ns;
+    for job in jobs.iter().filter(|j| j.traced) {
+        let user = job.kind.user_id().0;
+        let trace = tracer.trace_for(user);
+        let arrived_ns = tracer.clock_ns(job.arrived);
+        let claimed_ns = tracer.clock_ns(job.claimed.unwrap_or(marks.exec_start));
+        batch_start_ns = batch_start_ns.min(claimed_ns);
+        let root = tracer.next_span_id();
+        tracer.record(Span {
+            trace,
+            span: root,
+            parent: SpanId::NONE,
+            stage: Stage::Request,
+            worker,
+            user,
+            batch: batch_id,
+            start_ns: arrived_ns,
+            end_ns: done_ns,
+        });
+        for (stage, start_ns, end_ns) in [
+            (Stage::QueueWait, arrived_ns, claimed_ns),
+            (Stage::CoalesceHold, claimed_ns, exec_ns),
+            (Stage::BatchAssembly, exec_ns, assembly_ns),
+            (Stage::ForwardPass, assembly_ns, forward_ns),
+            (Stage::StateWriteBack, forward_ns, writeback_ns),
+            (Stage::Reply, writeback_ns, done_ns),
+        ] {
+            if stage == Stage::StateWriteBack && !is_update {
+                // Predict batches write no state; their `reply` child
+                // starts at the forward-pass boundary instead.
+                continue;
+            }
+            tracer.record(Span {
+                trace,
+                span: tracer.next_span_id(),
+                parent: root,
+                stage,
+                worker,
+                user,
+                batch: batch_id,
+                start_ns,
+                end_ns,
+            });
+        }
+    }
+    tracer.record(Span {
+        trace: TraceId(batch_id.max(1)),
+        span: tracer.next_span_id(),
+        parent: SpanId::NONE,
+        stage: Stage::Batch,
+        worker,
+        user: 0,
+        batch: batch_id,
+        start_ns: batch_start_ns,
+        end_ns: done_ns,
+    });
 }
 
 #[cfg(test)]
