@@ -1,0 +1,87 @@
+//! Diagnostics and their human / machine renderings.
+//!
+//! JSON is emitted by hand (a ~20-line escaper) rather than through the
+//! workspace serde shims: the lint tool analyzes those shims' consumers and
+//! must stay dependency-free so it can never be broken by the code it
+//! checks.
+
+use std::fmt;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule id (`lock-order`, …, or `unused-suppression`).
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human explanation of the violation and the expected idiom.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Escapes `s` for a JSON string body.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a diagnostic list as a JSON array of objects with `rule`,
+/// `path`, `line`, and `message` fields (stable field order), for the CI
+/// artifact.
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[\n");
+    for (i, d) in diags.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\"}}{}\n",
+            json_escape(&d.rule),
+            json_escape(&d.path),
+            d.line,
+            json_escape(&d.message),
+            if i + 1 < diags.len() { "," } else { "" }
+        ));
+    }
+    out.push(']');
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_orders_fields() {
+        let diags = vec![Diagnostic {
+            rule: "lock-order".into(),
+            path: "a/b.rs".into(),
+            line: 7,
+            message: "say \"no\"\n".into(),
+        }];
+        let json = to_json(&diags);
+        assert!(json.contains("\"rule\":\"lock-order\""));
+        assert!(json.contains("\"line\":7"));
+        assert!(json.contains("say \\\"no\\\"\\n"));
+    }
+}

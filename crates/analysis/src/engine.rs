@@ -1,0 +1,167 @@
+//! The driver: walk the workspace, run every rule over every file, apply
+//! suppressions, and report unused suppressions.
+
+use crate::config::LintConfig;
+use crate::diag::Diagnostic;
+use crate::rules::{all_rules, Rule};
+use crate::source::SourceFile;
+use std::path::{Path, PathBuf};
+
+/// Result of a lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Surviving diagnostics (post-suppression, including any
+    /// `unused-suppression` findings), sorted by path then line.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of suppressions that matched at least one diagnostic.
+    pub suppressions_used: usize,
+}
+
+/// Lints one in-memory source. `path` selects path-scoped config entries
+/// (lock classes, exemptions); `is_test_file` marks whole-file test code.
+/// Suppressions are applied and unused ones reported, exactly as in a
+/// workspace run — this is the entry point the fixture tests use.
+pub fn lint_source(
+    path: &str,
+    src: &str,
+    is_test_file: bool,
+    config: &LintConfig,
+) -> Vec<Diagnostic> {
+    let rules = all_rules();
+    lint_file(&rules, path, src, is_test_file, config, &mut 0)
+}
+
+fn lint_file(
+    rules: &[Box<dyn Rule>],
+    path: &str,
+    src: &str,
+    is_test_file: bool,
+    config: &LintConfig,
+    suppressions_used: &mut usize,
+) -> Vec<Diagnostic> {
+    let file = SourceFile::parse(path, src, is_test_file);
+    let mut raw = Vec::new();
+    for rule in rules {
+        rule.check(&file, config, &mut raw);
+    }
+    // A suppression on line L covers diagnostics on L (trailing comment)
+    // and L+1 (comment on its own line above the offending statement).
+    let mut used = vec![false; file.suppressions.len()];
+    let mut kept = Vec::new();
+    for diag in raw {
+        let mut suppressed = false;
+        for (k, sup) in file.suppressions.iter().enumerate() {
+            if sup.rule == diag.rule && (sup.line == diag.line || sup.line + 1 == diag.line) {
+                used[k] = true;
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            kept.push(diag);
+        }
+    }
+    for (k, sup) in file.suppressions.iter().enumerate() {
+        if used[k] {
+            *suppressions_used += 1;
+        } else {
+            kept.push(Diagnostic {
+                rule: "unused-suppression".to_string(),
+                path: path.to_string(),
+                line: sup.line,
+                message: format!(
+                    "`pp-lint: allow({})` suppresses nothing — remove it (stale allows \
+                     hide future violations)",
+                    sup.rule
+                ),
+            });
+        }
+    }
+    kept
+}
+
+/// Lints every `.rs` file under `root` (the workspace checkout), honoring
+/// [`LintConfig::skip_paths`].
+pub fn lint_workspace(root: &Path, config: &LintConfig) -> std::io::Result<LintReport> {
+    let rules = all_rules();
+    let mut files = Vec::new();
+    collect_rs_files(root, root, config, &mut files)?;
+    files.sort();
+    let mut report = LintReport::default();
+    for rel in files {
+        let abs = root.join(&rel);
+        let src = std::fs::read_to_string(&abs)?;
+        let rel_str = rel
+            .to_string_lossy()
+            .replace(std::path::MAIN_SEPARATOR, "/");
+        let is_test_file = rel_str.contains("/tests/")
+            || rel_str.starts_with("tests/")
+            || rel_str.contains("/benches/");
+        report.files_scanned += 1;
+        report.diagnostics.extend(lint_file(
+            &rules,
+            &rel_str,
+            &src,
+            is_test_file,
+            config,
+            &mut report.suppressions_used,
+        ));
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(report)
+}
+
+fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    config: &LintConfig,
+    out: &mut Vec<PathBuf>,
+) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace(std::path::MAIN_SEPARATOR, "/");
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        if config
+            .skip_paths
+            .iter()
+            .any(|skip| rel.contains(skip) || format!("{rel}/").contains(skip))
+        {
+            continue;
+        }
+        let ty = entry.file_type()?;
+        if ty.is_dir() {
+            collect_rs_files(root, &path, config, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path.strip_prefix(root).unwrap_or(&path).to_path_buf());
+        }
+    }
+    Ok(())
+}
+
+/// Locates the workspace root by walking up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

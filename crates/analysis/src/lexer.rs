@@ -1,0 +1,397 @@
+//! A small Rust token scanner — just enough lexical structure for the
+//! rule engine: identifiers, punctuation, literals, and comments, each
+//! tagged with its 1-based source line.
+//!
+//! This is deliberately *not* a parser (no `syn` — the workspace builds
+//! offline against shims, and the lint tool must never be broken by a
+//! dependency it analyzes). The scanner is exact about the things that
+//! would otherwise corrupt token-level matching: nested block comments,
+//! string/char/byte/raw-string literals, and the lifetime-vs-char-literal
+//! ambiguity. Everything the rules match on is therefore real code, never
+//! text inside a literal or comment.
+
+/// What a token is, at the granularity the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `lock`, `Ordering`, …).
+    Ident,
+    /// A single punctuation character (`.`, `(`, `;`, …).
+    Punct,
+    /// A string/char/byte/numeric literal (text preserved verbatim).
+    Literal,
+    /// A `//…` or `/*…*/` comment, text preserved (suppressions live here).
+    Comment,
+    /// A lifetime such as `'a` (kept distinct so `'a` never looks like an
+    /// unterminated char literal).
+    Lifetime,
+}
+
+/// One scanned token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Verbatim source text of the token.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// Scans `src` into a token stream. Unknown bytes become single-character
+/// punctuation tokens; the scanner never fails.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Advances `line` for every newline in `bytes[from..to]`.
+    let count_lines = |from: usize, to: usize, line: &mut u32| {
+        *line += bytes[from..to].iter().filter(|&&b| b == b'\n').count() as u32;
+    };
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        let start_line = line;
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let end = bytes[i..]
+                    .iter()
+                    .position(|&b| b == b'\n')
+                    .map_or(bytes.len(), |p| i + p);
+                toks.push(Tok {
+                    kind: TokKind::Comment,
+                    text: src[i..end].to_string(),
+                    line: start_line,
+                });
+                i = end;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comments nest in Rust.
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < bytes.len() && depth > 0 {
+                    if bytes[j] == b'/' && bytes.get(j + 1) == Some(&b'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j] == b'*' && bytes.get(j + 1) == Some(&b'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                count_lines(i, j, &mut line);
+                toks.push(Tok {
+                    kind: TokKind::Comment,
+                    text: src[i..j].to_string(),
+                    line: start_line,
+                });
+                i = j;
+            }
+            b'"' => {
+                let j = scan_string(bytes, i);
+                count_lines(i, j, &mut line);
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: src[i..j].to_string(),
+                    line: start_line,
+                });
+                i = j;
+            }
+            b'\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`): after the
+                // quote, an identifier character NOT followed by a closing
+                // quote is a lifetime.
+                let next = bytes.get(i + 1).copied();
+                let after = bytes.get(i + 2).copied();
+                let is_lifetime = matches!(next, Some(c) if c == b'_' || c.is_ascii_alphabetic())
+                    && after != Some(b'\'');
+                if is_lifetime {
+                    let mut j = i + 1;
+                    while j < bytes.len() && (bytes[j] == b'_' || bytes[j].is_ascii_alphanumeric())
+                    {
+                        j += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: src[i..j].to_string(),
+                        line: start_line,
+                    });
+                    i = j;
+                } else {
+                    let mut j = i + 1;
+                    while j < bytes.len() {
+                        match bytes[j] {
+                            b'\\' => j += 2,
+                            b'\'' => {
+                                j += 1;
+                                break;
+                            }
+                            _ => j += 1,
+                        }
+                    }
+                    count_lines(i, j.min(bytes.len()), &mut line);
+                    let j = j.min(bytes.len());
+                    toks.push(Tok {
+                        kind: TokKind::Literal,
+                        text: src[i..j].to_string(),
+                        line: start_line,
+                    });
+                    i = j;
+                }
+            }
+            // Raw strings and byte strings: r"…", r#"…"#, b"…", br#"…"#.
+            b'r' | b'b' if is_raw_or_byte_string_start(bytes, i) => {
+                let j = scan_raw_or_byte_string(bytes, i);
+                count_lines(i, j, &mut line);
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: src[i..j].to_string(),
+                    line: start_line,
+                });
+                i = j;
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let mut j = i + 1;
+                while j < bytes.len() && (bytes[j] == b'_' || bytes[j].is_ascii_alphanumeric()) {
+                    j += 1;
+                }
+                // Raw identifier `r#ident` — strip the prefix so rules see
+                // the plain name.
+                let mut text = &src[i..j];
+                if text == "r" && bytes.get(j) == Some(&b'#') {
+                    let mut k = j + 1;
+                    while k < bytes.len() && (bytes[k] == b'_' || bytes[k].is_ascii_alphanumeric())
+                    {
+                        k += 1;
+                    }
+                    text = &src[j + 1..k];
+                    i = k;
+                } else {
+                    i = j;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: text.to_string(),
+                    line: start_line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                while j < bytes.len() {
+                    let d = bytes[j];
+                    if d == b'_' || d.is_ascii_alphanumeric() {
+                        j += 1;
+                    } else if (d == b'+' || d == b'-')
+                        && matches!(bytes[j - 1], b'e' | b'E')
+                        && !src[i..j].starts_with("0x")
+                        && !src[i..j].starts_with("0b")
+                        && !src[i..j].starts_with("0o")
+                        && bytes.get(j + 1).is_some_and(u8::is_ascii_digit)
+                    {
+                        // Signed exponent: `1.5e-3` is one literal. The radix
+                        // guard keeps hex digits (`0xAE-1`) out of this path.
+                        j += 1;
+                    } else if d == b'.'
+                        && bytes.get(j + 1).is_some_and(u8::is_ascii_digit)
+                        && !src[i..j].contains('.')
+                    {
+                        // `1.5` is one literal; `1.max(2)` is not.
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: src[i..j].to_string(),
+                    line: start_line,
+                });
+                i = j;
+            }
+            _ => {
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: src[i..i + 1].to_string(),
+                    line: start_line,
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// Scans a plain `"…"` string starting at `i` (the opening quote),
+/// returning the index just past the closing quote.
+fn scan_string(bytes: &[u8], i: usize) -> usize {
+    let mut j = i + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    bytes.len()
+}
+
+/// Whether the `r`/`b` at `i` starts a raw or byte string/char literal
+/// (as opposed to a plain identifier).
+fn is_raw_or_byte_string_start(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+        if bytes.get(j) == Some(&b'\'') {
+            return true; // byte char b'…'
+        }
+        if bytes.get(j) == Some(&b'"') {
+            return true; // byte string b"…"
+        }
+        if bytes.get(j) != Some(&b'r') {
+            return false;
+        }
+        j += 1; // br…
+    } else {
+        j += 1; // r…
+    }
+    // After `r`/`br`: any number of `#` then `"` makes a raw string. A bare
+    // `r#ident` (raw identifier) has an identifier char after the `#`.
+    let mut k = j;
+    while bytes.get(k) == Some(&b'#') {
+        k += 1;
+    }
+    bytes.get(k) == Some(&b'"')
+}
+
+/// Scans a raw/byte string (or byte char) starting at `i`, returning the
+/// index just past its end.
+fn scan_raw_or_byte_string(bytes: &[u8], i: usize) -> usize {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+        if bytes.get(j) == Some(&b'\'') {
+            // b'…' byte char, escapes allowed.
+            let mut k = j + 1;
+            while k < bytes.len() {
+                match bytes[k] {
+                    b'\\' => k += 2,
+                    b'\'' => return k + 1,
+                    _ => k += 1,
+                }
+            }
+            return bytes.len();
+        }
+        if bytes.get(j) == Some(&b'"') {
+            return scan_string(bytes, j);
+        }
+        j += 1; // br
+    } else {
+        j += 1; // r
+    }
+    let mut hashes = 0usize;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert_eq!(bytes.get(j), Some(&b'"'), "caller checked raw-string start");
+    j += 1;
+    // Scan for `"` followed by `hashes` hash marks.
+    while j < bytes.len() {
+        if bytes[j] == b'"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while seen < hashes && bytes.get(k) == Some(&b'#') {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return k;
+            }
+        }
+        j += 1;
+    }
+    bytes.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn scans_idents_puncts_and_lines() {
+        let toks = lex("let x = a.lock();\nlet y = 2;");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "x", "a", "lock", "let", "y"]);
+        assert_eq!(toks.last().unwrap().line, 2);
+    }
+
+    #[test]
+    fn code_inside_strings_and_comments_is_not_tokenized_as_code() {
+        let toks = kinds("// x.lock().unwrap()\nlet s = \".lock().unwrap()\";");
+        assert!(toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .all(|(_, t)| t != "lock" && t != "unwrap"));
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Comment).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_and_raw_strings() {
+        let toks = kinds("/* a /* b */ c */ fn f() { r#\"x \" y\"# }");
+        let idents: Vec<&String> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(idents, ["fn", "f"]);
+    }
+
+    #[test]
+    fn lifetimes_do_not_swallow_following_code() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Lifetime && t == "'a"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Literal && t == "'x'"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "str"));
+    }
+
+    #[test]
+    fn numeric_literals_stay_single_tokens() {
+        let toks = kinds("let a = 1.5e-3 + 0xff_u64 + 2.max(3);");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Literal && t == "1.5e-3"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Literal && t == "0xff_u64"));
+        // `2.max` must split so `max` stays an ident.
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "max"));
+    }
+
+    #[test]
+    fn raw_identifiers_lose_their_prefix() {
+        let toks = kinds("let r#fn = 1;");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "fn"));
+    }
+}

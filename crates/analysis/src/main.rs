@@ -1,0 +1,118 @@
+//! `pp-lint` CLI: lint the workspace, print human `file:line` diagnostics,
+//! optionally write machine-readable JSON, and (with `--deny`) fail on any
+//! violation or unused suppression — the CI entry point.
+
+use pp_lint::{find_workspace_root, lint_workspace, rules, to_json, LintConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+pp-lint — workspace-native static analysis for concurrency and instrumentation invariants
+
+USAGE:
+    pp-lint [--root <dir>] [--json <path>] [--deny] [--list-rules]
+
+OPTIONS:
+    --root <dir>    Workspace root to lint (default: nearest ancestor whose
+                    Cargo.toml declares [workspace])
+    --json <path>   Also write diagnostics as a JSON array to <path>
+    --deny          Exit non-zero if any diagnostic (including an unused
+                    suppression) is reported — the CI gate mode
+    --list-rules    Print the rule ids and descriptions, then exit
+";
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json: Option<PathBuf> = None;
+    let mut deny = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage_error("--root needs a value"),
+            },
+            "--json" => match args.next() {
+                Some(v) => json = Some(PathBuf::from(v)),
+                None => return usage_error("--json needs a value"),
+            },
+            "--deny" => deny = true,
+            "--list-rules" => {
+                for rule in rules::all_rules() {
+                    println!("{:<22} {}", rule.id(), rule.description());
+                }
+                println!(
+                    "{:<22} every `pp-lint: allow(…)` must suppress something",
+                    "unused-suppression"
+                );
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().expect("cwd");
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("pp-lint: no [workspace] Cargo.toml above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let config = LintConfig::default();
+    let report = match lint_workspace(&root, &config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pp-lint: walking {} failed: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    for diag in &report.diagnostics {
+        println!("{diag}");
+    }
+    if let Some(path) = json {
+        if let Err(e) = std::fs::write(&path, to_json(&report.diagnostics)) {
+            eprintln!("pp-lint: writing {} failed: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    println!(
+        "pp-lint: {} violation{} across {} files ({} rules, {} suppression{} honored)",
+        report.diagnostics.len(),
+        if report.diagnostics.len() == 1 {
+            ""
+        } else {
+            "s"
+        },
+        report.files_scanned,
+        rules::all_rules().len(),
+        report.suppressions_used,
+        if report.suppressions_used == 1 {
+            ""
+        } else {
+            "s"
+        },
+    );
+
+    if deny && !report.diagnostics.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("pp-lint: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}

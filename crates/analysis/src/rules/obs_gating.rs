@@ -1,0 +1,92 @@
+//! `obs-gating` — span/trace emission in hot paths must be reachable only
+//! behind the compile-time `enabled` feature or a runtime
+//! `enabled()`/`is_enabled()` guard.
+//!
+//! The repo's CI gates instrumented throughput within 5% of the no-op
+//! baseline. That gate only holds because every tracing call site either
+//! folds away with the `enabled` feature or is skipped at runtime for
+//! unsampled requests. A new call that hashes users, reads clocks, or
+//! builds spans unconditionally silently erodes the budget — so any
+//! function (outside `crates/obs` itself and test code) that touches the
+//! trace-emission API must also contain a guard: a `.enabled()` /
+//! `is_enabled()` check (a `debug_assert!(tracer.enabled(), …)` stating
+//! the caller's obligation also counts) or a `cfg(feature = …)` gate.
+//!
+//! Metric counters/histograms are *not* triggers: their recording methods
+//! are compile-time no-ops inside pp-obs, which is exactly the discipline
+//! this rule protects for the trace path.
+
+use super::Rule;
+use crate::config::LintConfig;
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+/// See the module docs.
+#[derive(Debug)]
+pub struct ObsGating;
+
+/// Identifiers whose presence means the function emits or prepares spans.
+const TRIGGERS: [&str; 4] = ["trace_for", "next_span_id", "next_batch_id", "SpanBuilder"];
+
+impl Rule for ObsGating {
+    fn id(&self) -> &'static str {
+        "obs-gating"
+    }
+
+    fn description(&self) -> &'static str {
+        "functions emitting trace spans must contain an enabled()/is_enabled() \
+         guard or a cfg(feature) gate"
+    }
+
+    fn check(&self, file: &SourceFile, config: &LintConfig, out: &mut Vec<Diagnostic>) {
+        if config
+            .obs_gating_exempt_paths
+            .iter()
+            .any(|p| file.path.contains(p))
+        {
+            return;
+        }
+        // Report at most once per function.
+        let mut reported: Vec<(usize, usize)> = Vec::new();
+        for i in 0..file.len() {
+            let is_trigger = TRIGGERS.contains(&file.text(i))
+                || (file.text(i) == "Tracer" && file.matches(i + 1, &[":", ":", "global"]));
+            if !is_trigger || file.is_test(i) {
+                continue;
+            }
+            let Some(extent) = file.enclosing_fn(i) else {
+                continue;
+            };
+            let key = (extent.start, extent.end);
+            if reported.contains(&key) || fn_has_guard(file, extent.start, extent.end) {
+                continue;
+            }
+            reported.push(key);
+            out.push(Diagnostic {
+                rule: self.id().to_string(),
+                path: file.path.clone(),
+                line: file.line(i),
+                message: format!(
+                    "`{}` in `{}` emits trace spans without an obs gate — guard the path \
+                     with `tracer.enabled()` / `pp_obs::is_enabled()` (or assert the \
+                     caller's gate with `debug_assert!(tracer.enabled(), …)`)",
+                    file.text(i),
+                    extent.name
+                ),
+            });
+        }
+    }
+}
+
+/// Whether the function body `[start, end)` contains a recognized gate.
+fn fn_has_guard(file: &SourceFile, start: usize, end: usize) -> bool {
+    for i in start..end.min(file.len()) {
+        match file.text(i) {
+            "is_enabled" => return true,
+            "enabled" if i > 0 && file.text(i - 1) == "." => return true,
+            "cfg" if file.matches(i + 1, &["(", "feature"]) => return true,
+            _ => {}
+        }
+    }
+    false
+}

@@ -1,0 +1,229 @@
+//! `unit-suffix` — values computed in a known unit must be named with the
+//! matching suffix.
+//!
+//! Every latency histogram in the repo is nanoseconds (`*_ns`), report
+//! periods are milliseconds or traffic-seconds, and cache payloads are
+//! bytes. A `u64` named `wait` that actually holds milliseconds is a
+//! factor-of-10⁶ bug waiting for an aggregation to merge it with a
+//! nanosecond counter. The rule checks `let` bindings and struct-literal
+//! field initializers whose right-hand side calls an unambiguous unit
+//! conversion:
+//!
+//! | RHS contains        | name must end with |
+//! |---------------------|--------------------|
+//! | `as_nanos()`        | `_ns` (or be `ns`) |
+//! | `as_micros()`       | `_us` (or `us`)    |
+//! | `as_millis()`       | `_ms` (or `ms`)    |
+//! | `size_of` / `size_of_val` | `_bytes` (or `bytes`) |
+//!
+//! A right-hand side mixing different units (a conversion) is skipped —
+//! the scanner cannot know which unit survives. `as_secs*` is deliberately
+//! not checked: seconds are routinely rescaled in the same expression
+//! (`as_secs_f64() * 1e6`).
+
+use super::Rule;
+use crate::config::LintConfig;
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+
+/// See the module docs.
+#[derive(Debug)]
+pub struct UnitSuffix;
+
+/// `(trigger ident, unit label, accepted suffix, accepted bare name)`.
+const UNITS: [(&str, &str, &str, &str); 4] = [
+    ("as_nanos", "nanoseconds", "_ns", "ns"),
+    ("as_micros", "microseconds", "_us", "us"),
+    ("as_millis", "milliseconds", "_ms", "ms"),
+    ("size_of", "bytes", "_bytes", "bytes"),
+];
+
+impl Rule for UnitSuffix {
+    fn id(&self) -> &'static str {
+        "unit-suffix"
+    }
+
+    fn description(&self) -> &'static str {
+        "bindings and fields computed via as_nanos/as_micros/as_millis/size_of \
+         must carry the matching _ns/_us/_ms/_bytes suffix"
+    }
+
+    fn check(&self, file: &SourceFile, _config: &LintConfig, out: &mut Vec<Diagnostic>) {
+        let mut i = 0usize;
+        while i < file.len() {
+            if file.is_test(i) {
+                i += 1;
+                continue;
+            }
+            // `let [mut] name [: ty] = <expr> ;`
+            if file.text(i) == "let" {
+                let mut j = i + 1;
+                if j < file.len() && file.text(j) == "mut" {
+                    j += 1;
+                }
+                if j < file.len() && file.kind(j) == TokKind::Ident {
+                    let name = file.text(j).to_string();
+                    let line = file.line(j);
+                    // Find the `=` at depth 0 before any `;`.
+                    let mut k = j + 1;
+                    let mut depth = 0i32;
+                    let mut assign = None;
+                    while k < file.len() {
+                        match file.text(k) {
+                            "(" | "[" | "{" => depth += 1,
+                            ")" | "]" | "}" => depth -= 1,
+                            "=" if depth == 0 => {
+                                // Exclude `==` / `>=` / `<=` / `!=` forms.
+                                let prev = file.text(k - 1);
+                                let next = file.text(k + 1);
+                                if next != "=" && !matches!(prev, "=" | "<" | ">" | "!") {
+                                    assign = Some(k);
+                                }
+                                break;
+                            }
+                            ";" if depth == 0 => break,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    if let Some(eq) = assign {
+                        let end = stmt_end(file, eq + 1);
+                        check_name(self, file, &name, line, eq + 1, end, out);
+                        i = end;
+                        continue;
+                    }
+                }
+            }
+            // Struct-literal field init: `{ … , name : <expr> , … }` — only
+            // when the value expression actually calls a unit conversion.
+            if file.text(i) == ":"
+                && i >= 1
+                && file.kind(i - 1) == TokKind::Ident
+                && i >= 2
+                && matches!(file.text(i - 2), "{" | ",")
+                && (i + 1 >= file.len() || file.text(i + 1) != ":")
+                && (i < 1 || file.text(i - 1) != ":")
+            {
+                let name = file.text(i - 1).to_string();
+                let line = file.line(i - 1);
+                let end = field_end(file, i + 1);
+                check_name(self, file, &name, line, i + 1, end, out);
+                i = end;
+                continue;
+            }
+            i += 1;
+        }
+    }
+}
+
+/// `sig` index of the `;` ending the statement starting at `from` (depth-0).
+fn stmt_end(file: &SourceFile, from: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = from;
+    while i < file.len() {
+        match file.text(i) {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                if depth == 0 {
+                    return i; // malformed; stop at scope close
+                }
+                depth -= 1;
+            }
+            ";" if depth == 0 => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    file.len()
+}
+
+/// `sig` index of the `,` or `}` ending a struct-literal field value
+/// starting at `from`.
+fn field_end(file: &SourceFile, from: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = from;
+    while i < file.len() {
+        match file.text(i) {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                if depth == 0 {
+                    return i;
+                }
+                depth -= 1;
+            }
+            "," if depth == 0 => return i,
+            ";" if depth == 0 => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    file.len()
+}
+
+/// Checks `name` against the unit conversions called in `[from, end)`.
+#[allow(clippy::too_many_arguments)]
+fn check_name(
+    rule: &UnitSuffix,
+    file: &SourceFile,
+    name: &str,
+    line: u32,
+    from: usize,
+    end: usize,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut found: Option<(&str, &str, &str)> = None;
+    let stop = end.min(file.len());
+    let mut i = from;
+    while i < stop {
+        // Skip `{ … }` sub-regions: a unit conversion inside a closure body
+        // or nested block computes some *other* value's unit, not this
+        // binding's (`let sampler = scope.spawn(|| { …as_millis()… });`).
+        if file.text(i) == "{" {
+            let mut d = 0i32;
+            while i < stop {
+                match file.text(i) {
+                    "{" => d += 1,
+                    "}" => {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+            i += 1;
+            continue;
+        }
+        for &(trigger, label, suffix, bare) in &UNITS {
+            let hit =
+                file.text(i) == trigger || (trigger == "size_of" && file.text(i) == "size_of_val");
+            if !hit {
+                continue;
+            }
+            match found {
+                None => found = Some((label, suffix, bare)),
+                Some((prev, _, _)) if prev != label => return, // mixed units: skip
+                Some(_) => {}
+            }
+        }
+        i += 1;
+    }
+    let Some((label, suffix, bare)) = found else {
+        return;
+    };
+    if name.ends_with(suffix) || name == bare || name == "_" {
+        return;
+    }
+    out.push(Diagnostic {
+        rule: rule.id().to_string(),
+        path: file.path.clone(),
+        line,
+        message: format!(
+            "`{name}` is computed in {label} but is not named `*{suffix}` — unit-suffix \
+             the name so aggregations can't silently mix units"
+        ),
+    });
+}

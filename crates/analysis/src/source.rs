@@ -1,0 +1,357 @@
+//! Per-file source model shared by every rule: the significant (non-comment)
+//! token view, `// pp-lint: allow(rule)` suppressions, `#[cfg(test)]` /
+//! `#[test]` region detection, and function extents.
+
+use crate::lexer::{lex, Tok, TokKind};
+
+/// One `// pp-lint: allow(rule, …)` suppression comment.
+///
+/// A suppression covers diagnostics on its own line (trailing comment) and
+/// on the following line (own-line comment above the offending statement).
+/// Every suppression must suppress at least one diagnostic or the engine
+/// reports it as `unused-suppression`.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// The rule id being allowed.
+    pub rule: String,
+    /// 1-based line of the comment.
+    pub line: u32,
+}
+
+/// A lexed source file plus the derived structure rules match against.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Whether the whole file is test code (under a `tests/` or `benches/`
+    /// directory) — rules that exempt test code skip it entirely.
+    pub is_test_file: bool,
+    /// The full token stream (comments included).
+    pub toks: Vec<Tok>,
+    /// Indices into `toks` of significant (non-comment) tokens. All rule
+    /// matching walks this view so literals/comments can never match.
+    pub sig: Vec<usize>,
+    /// Per-`sig`-index flag: true when the token sits inside a
+    /// `#[cfg(test)]` module or a `#[test]` function.
+    pub in_test: Vec<bool>,
+    /// Parsed suppression comments.
+    pub suppressions: Vec<Suppression>,
+    /// Extents of function bodies as `[start, end)` ranges over `sig`
+    /// indices (the braces themselves are included), with the function name.
+    pub fns: Vec<FnExtent>,
+}
+
+/// One function body's extent over the significant-token view.
+#[derive(Debug, Clone)]
+pub struct FnExtent {
+    /// Function name.
+    pub name: String,
+    /// First `sig` index of the body's opening `{`.
+    pub start: usize,
+    /// One past the `sig` index of the body's closing `}`.
+    pub end: usize,
+}
+
+impl SourceFile {
+    /// Lexes `src` and derives the structure rules need. `path` should be
+    /// workspace-relative with `/` separators; `is_test_file` marks whole
+    /// files of test code (integration tests, benches).
+    pub fn parse(path: &str, src: &str, is_test_file: bool) -> Self {
+        let toks = lex(src);
+        let sig: Vec<usize> = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.kind != TokKind::Comment)
+            .map(|(i, _)| i)
+            .collect();
+        let suppressions = parse_suppressions(&toks);
+        let in_test = mark_test_regions(&toks, &sig);
+        let fns = find_fn_extents(&toks, &sig);
+        Self {
+            path: path.to_string(),
+            is_test_file,
+            toks,
+            sig,
+            in_test,
+            suppressions,
+            fns,
+        }
+    }
+
+    /// The text of significant token `i` (an index into [`SourceFile::sig`]).
+    pub fn text(&self, i: usize) -> &str {
+        &self.toks[self.sig[i]].text
+    }
+
+    /// The kind of significant token `i`.
+    pub fn kind(&self, i: usize) -> TokKind {
+        self.toks[self.sig[i]].kind
+    }
+
+    /// The 1-based line of significant token `i`.
+    pub fn line(&self, i: usize) -> u32 {
+        self.toks[self.sig[i]].line
+    }
+
+    /// Number of significant tokens.
+    pub fn len(&self) -> usize {
+        self.sig.len()
+    }
+
+    /// Whether the file has no significant tokens.
+    pub fn is_empty(&self) -> bool {
+        self.sig.is_empty()
+    }
+
+    /// Whether significant token `i` is inside test code (either a test
+    /// region or a whole-file test).
+    pub fn is_test(&self, i: usize) -> bool {
+        self.is_test_file || self.in_test[i]
+    }
+
+    /// The innermost function extent containing significant token `i`.
+    pub fn enclosing_fn(&self, i: usize) -> Option<&FnExtent> {
+        self.fns
+            .iter()
+            .filter(|f| f.start <= i && i < f.end)
+            .min_by_key(|f| f.end - f.start)
+    }
+
+    /// Whether tokens `[i, i + pat.len())` match `pat` textually.
+    pub fn matches(&self, i: usize, pat: &[&str]) -> bool {
+        pat.iter()
+            .enumerate()
+            .all(|(k, p)| i + k < self.len() && self.text(i + k) == *p)
+    }
+}
+
+/// Extracts `pp-lint: allow(rule, …)` suppressions from comment tokens.
+fn parse_suppressions(toks: &[Tok]) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for tok in toks.iter().filter(|t| t.kind == TokKind::Comment) {
+        // Doc comments (`///`, `//!`, `/**`, `/*!`) are documentation text —
+        // prose *about* suppressions must not itself suppress (or count as
+        // unused); only plain `//` and `/*` comments are annotations.
+        if ["///", "//!", "/**", "/*!"]
+            .iter()
+            .any(|p| tok.text.starts_with(p))
+        {
+            continue;
+        }
+        let Some(pos) = tok.text.find("pp-lint:") else {
+            continue;
+        };
+        let rest = tok.text[pos + "pp-lint:".len()..].trim_start();
+        let Some(rest) = rest.strip_prefix("allow(") else {
+            continue;
+        };
+        let Some(end) = rest.find(')') else {
+            continue;
+        };
+        for rule in rest[..end].split(',') {
+            let rule = rule.trim();
+            if !rule.is_empty() {
+                out.push(Suppression {
+                    rule: rule.to_string(),
+                    line: tok.line,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Marks `sig` tokens inside `#[cfg(test)]` items and `#[test]` functions.
+fn mark_test_regions(toks: &[Tok], sig: &[usize]) -> Vec<bool> {
+    let mut in_test = vec![false; sig.len()];
+    let text = |i: usize| -> &str { &toks[sig[i]].text };
+    let mut i = 0usize;
+    while i < sig.len() {
+        // Match `#[cfg(test)]` or `#[test]` (also `#[cfg(all(test, …))]`
+        // loosely: any attribute whose first path segment list contains a
+        // bare `test` token before the closing `]`).
+        if text(i) == "#" && i + 1 < sig.len() && text(i + 1) == "[" {
+            // Find the attribute's closing `]`.
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            let mut has_test = false;
+            while j < sig.len() {
+                match text(j) {
+                    "[" | "(" => depth += 1,
+                    "]" | ")" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    "test" => has_test = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if has_test && j < sig.len() {
+                // The attribute gates the next item: skip further
+                // attributes, then mark from the item's first token to the
+                // end of its brace-matched body.
+                let mut k = j + 1;
+                while k + 1 < sig.len() && text(k) == "#" && text(k + 1) == "[" {
+                    let mut d = 0i32;
+                    while k < sig.len() {
+                        match text(k) {
+                            "[" | "(" => d += 1,
+                            "]" | ")" => {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    k += 1;
+                }
+                // Find the body's opening brace, then match it.
+                let mut open = k;
+                while open < sig.len() && text(open) != "{" && text(open) != ";" {
+                    open += 1;
+                }
+                if open < sig.len() && text(open) == "{" {
+                    let mut d = 0i32;
+                    let mut end = open;
+                    while end < sig.len() {
+                        match text(end) {
+                            "{" => d += 1,
+                            "}" => {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        end += 1;
+                    }
+                    for flag in in_test.iter_mut().take((end + 1).min(sig.len())).skip(i) {
+                        *flag = true;
+                    }
+                    i = end + 1;
+                    continue;
+                }
+            }
+            i = j.max(i) + 1;
+            continue;
+        }
+        i += 1;
+    }
+    in_test
+}
+
+/// Finds function-body extents: for each `fn name…{`, the `sig` range of
+/// the brace-matched body.
+fn find_fn_extents(toks: &[Tok], sig: &[usize]) -> Vec<FnExtent> {
+    let text = |i: usize| -> &str { &toks[sig[i]].text };
+    let mut fns = Vec::new();
+    for i in 0..sig.len() {
+        if text(i) != "fn" || toks[sig[i]].kind != TokKind::Ident {
+            continue;
+        }
+        let Some(name_idx) = (i + 1 < sig.len()).then_some(i + 1) else {
+            continue;
+        };
+        if toks[sig[name_idx]].kind != TokKind::Ident {
+            continue; // `fn` in a type position (`fn()` pointers)
+        }
+        let name = text(name_idx).to_string();
+        // Scan to the body's opening `{` at paren depth 0 (skipping the
+        // argument list and any parenthesized where-clause bounds). A `;`
+        // at depth 0 first means a bodyless declaration (trait method).
+        let mut depth = 0i32;
+        let mut j = name_idx + 1;
+        let mut open = None;
+        while j < sig.len() {
+            match text(j) {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => {
+                    open = Some(j);
+                    break;
+                }
+                ";" if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(open) = open else { continue };
+        let mut d = 0i32;
+        let mut end = open;
+        while end < sig.len() {
+            match text(end) {
+                "{" => d += 1,
+                "}" => {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            end += 1;
+        }
+        fns.push(FnExtent {
+            name,
+            start: open,
+            end: (end + 1).min(sig.len()),
+        });
+    }
+    fns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppressions_parse_rule_lists() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "// pp-lint: allow(lock-order, atomic-ordering)\nlet a = 1;",
+            false,
+        );
+        let rules: Vec<&str> = f.suppressions.iter().map(|s| s.rule.as_str()).collect();
+        assert_eq!(rules, ["lock-order", "atomic-ordering"]);
+        assert_eq!(f.suppressions[0].line, 1);
+    }
+
+    #[test]
+    fn cfg_test_modules_are_marked() {
+        let src =
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n fn helper() { spawn(); }\n}\nfn live2() {}";
+        let f = SourceFile::parse("x.rs", src, false);
+        let spawn = (0..f.len()).find(|&i| f.text(i) == "spawn").unwrap();
+        assert!(f.is_test(spawn));
+        let live2 = (0..f.len()).find(|&i| f.text(i) == "live2").unwrap();
+        assert!(!f.is_test(live2));
+    }
+
+    #[test]
+    fn test_fns_are_marked() {
+        let src = "#[test]\nfn check() { body(); }\nfn live() { other(); }";
+        let f = SourceFile::parse("x.rs", src, false);
+        let body = (0..f.len()).find(|&i| f.text(i) == "body").unwrap();
+        assert!(f.is_test(body));
+        let other = (0..f.len()).find(|&i| f.text(i) == "other").unwrap();
+        assert!(!f.is_test(other));
+    }
+
+    #[test]
+    fn fn_extents_cover_bodies_and_nested_fns_resolve_innermost() {
+        let src = "fn outer() { inner_call(); fn inner() { deep(); } }";
+        let f = SourceFile::parse("x.rs", src, false);
+        assert_eq!(f.fns.len(), 2);
+        let deep = (0..f.len()).find(|&i| f.text(i) == "deep").unwrap();
+        assert_eq!(f.enclosing_fn(deep).unwrap().name, "inner");
+        let call = (0..f.len()).find(|&i| f.text(i) == "inner_call").unwrap();
+        assert_eq!(f.enclosing_fn(call).unwrap().name, "outer");
+    }
+}

@@ -1,0 +1,26 @@
+// Fixture: out-of-order and same-rank nested acquisitions, linted under the
+// synthetic path crates/serving/src/fixture.rs (queue rank 10, wakeup rank
+// 40). Never compiled — token-scanned only.
+
+fn inverted_hierarchy(shared: &Shared, queue: &ShardQueue) {
+    let gen = shared.work_gen.lock_or_panic("work generation"); // wakeup, rank 40
+    let q = queue.jobs.lock_or_panic("shard queue"); // EXPECT: lock-order
+    drop(q);
+    drop(gen);
+}
+
+fn same_rank_nesting(a: &ShardQueue, b: &ShardQueue) {
+    let qa = a.jobs.lock_or_panic("shard queue");
+    let qb = b.jobs.lock_or_panic("shard queue"); // EXPECT: lock-order
+    drop(qb);
+    drop(qa);
+}
+
+fn held_across_scope(shared: &Shared, queue: &ShardQueue) {
+    let gen = shared.work_gen.lock_or_panic("work generation");
+    {
+        let q = queue.jobs.lock_or_panic("shard queue"); // EXPECT: lock-order
+        drop(q);
+    }
+    drop(gen);
+}

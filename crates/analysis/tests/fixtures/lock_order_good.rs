@@ -1,0 +1,40 @@
+// Fixture: hierarchy-respecting and temporary acquisitions that must NOT
+// trip lock-order. Never compiled — token-scanned only.
+
+fn declared_order(shared: &Shared, queue: &ShardQueue) {
+    let q = queue.jobs.lock_or_panic("shard queue"); // queue, rank 10
+    drop(q);
+    // Released before the wakeup lock: fine.
+    let gen = shared.work_gen.lock_or_panic("work generation"); // rank 40
+    drop(gen);
+}
+
+fn increasing_rank(shared: &Shared, queue: &ShardQueue) {
+    let q = queue.jobs.lock_or_panic("shard queue"); // rank 10
+    let gen = shared.work_gen.lock_or_panic("work generation"); // rank 40: up is fine
+    drop(gen);
+    drop(q);
+}
+
+fn temporary_released_at_statement_end(shared: &Shared, queue: &ShardQueue) {
+    // `*…lock()` is a temporary: the guard dies at the `;`, so the next
+    // acquisition is not nested.
+    let before = *shared.work_gen.lock_or_panic("work generation");
+    let q = queue.jobs.lock_or_panic("shard queue");
+    drop(q);
+    let _ = before;
+}
+
+fn drop_releases_early(shared: &Shared, queue: &ShardQueue) {
+    let gen = shared.work_gen.lock_or_panic("work generation");
+    drop(gen);
+    let q = queue.jobs.lock_or_panic("shard queue");
+    drop(q);
+}
+
+fn unclassified_receivers_ignored(misc: &Misc) {
+    let a = misc.stuff.lock().unwrap();
+    let b = misc.other.lock().unwrap();
+    drop(b);
+    drop(a);
+}

@@ -1,0 +1,8 @@
+// Fixture: spawned threads whose JoinHandle is discarded. Never compiled —
+// token-scanned only.
+
+fn fire_and_forget(shared: &Shared) {
+    thread::spawn(|| background(shared)); // EXPECT: no-bare-thread-spawn
+    let _ = thread::spawn(|| background(shared)); // EXPECT: no-bare-thread-spawn
+    std::thread::spawn(move || background(shared)); // EXPECT: no-bare-thread-spawn
+}

@@ -1,0 +1,28 @@
+// Fixture: spawns whose handle is kept (bound, pushed, collected, or the
+// value of a closure) that must NOT trip no-bare-thread-spawn. Never
+// compiled — token-scanned only.
+
+fn kept_handles(shared: &Shared) {
+    let handle = thread::spawn(|| background(shared));
+    handle.join().unwrap();
+
+    let mut handles = Vec::new();
+    handles.push(std::thread::spawn(|| background(shared)));
+
+    // Tail expression of a closure: the handle IS the closure's value.
+    let workers: Vec<_> = (0..4)
+        .map(|worker| {
+            let shared = shared.clone();
+            std::thread::spawn(move || worker_loop(&shared, worker))
+        })
+        .collect();
+    let _ = (handles, workers);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn discard_is_fine_in_tests() {
+        thread::spawn(|| ());
+    }
+}

@@ -1,0 +1,13 @@
+// Fixture: call sites deciding the poison policy inline instead of naming
+// it through pp_obs::sync::LockPolicy. Never compiled — token-scanned only.
+
+fn inline_policy(state: &State) {
+    let g = state.inner.lock().unwrap(); // EXPECT: no-lock-unwrap
+    drop(g);
+    let h = state.inner.lock().expect("state poisoned"); // EXPECT: no-lock-unwrap
+    drop(h);
+}
+
+fn chained(state: &State) -> usize {
+    state.inner.lock().unwrap().len() // EXPECT: no-lock-unwrap
+}

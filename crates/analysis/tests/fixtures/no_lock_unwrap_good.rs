@@ -1,0 +1,23 @@
+// Fixture: named poison policies and test code that must NOT trip
+// no-lock-unwrap. Never compiled — token-scanned only.
+
+fn named_policies(state: &State, lanes: &Lanes) {
+    let g = state.inner.lock_or_panic("engine state");
+    drop(g);
+    let h = lanes.ring.lock_recover();
+    drop(h);
+}
+
+fn fallible(state: &State) -> Option<usize> {
+    // Propagating the result is a policy too — just not an inline unwrap.
+    state.inner.lock().ok().map(|g| g.len())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let g = STATE.inner.lock().unwrap();
+        drop(g);
+    }
+}

@@ -1,0 +1,12 @@
+// Fixture: span emission with no obs gate anywhere in the function.
+// Never compiled — token-scanned only.
+
+fn emit_ungated(tracer: &Tracer, user: u64) {
+    let trace = tracer.trace_for(user); // EXPECT: obs-gating
+    let span = SpanBuilder::new(trace).stage(Stage::Forward);
+    span.finish();
+}
+
+fn ids_ungated(tracer: &Tracer) -> u64 {
+    tracer.next_batch_id() // EXPECT: obs-gating
+}

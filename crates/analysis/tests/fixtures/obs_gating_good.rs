@@ -1,0 +1,38 @@
+// Fixture: gated span emission that must NOT trip obs-gating. Never
+// compiled — token-scanned only.
+
+fn runtime_gated(tracer: &Tracer, user: u64) {
+    if !tracer.enabled() {
+        return;
+    }
+    let trace = tracer.trace_for(user);
+    let _ = trace;
+}
+
+fn const_gated(user: u64) {
+    if pp_obs::is_enabled() {
+        let trace = Tracer::global().trace_for(user);
+        let _ = trace;
+    }
+}
+
+fn caller_contract(tracer: &Tracer, user: u64) {
+    // The debug_assert documents (and checks) the caller's gate.
+    debug_assert!(tracer.enabled(), "span emission must be trace-gated");
+    let trace = tracer.trace_for(user);
+    let _ = trace;
+}
+
+fn feature_gated(tracer: &Tracer) -> u64 {
+    #[cfg(feature = "enabled")]
+    {
+        return tracer.next_batch_id();
+    }
+    0
+}
+
+fn metrics_are_not_triggers(obs: &ServingObs) {
+    // Counters/histograms fold to no-ops inside pp-obs; not span emission.
+    obs.batches.inc();
+    obs.batch_latency.record_ns(5);
+}

@@ -1,0 +1,16 @@
+// Fixture: unit-bearing computations bound to unit-less names. Never
+// compiled — token-scanned only.
+
+fn bindings(started: Instant, payload: &[u8]) {
+    let wait = started.elapsed().as_millis(); // EXPECT: unit-suffix
+    let spent = started.elapsed().as_nanos(); // EXPECT: unit-suffix
+    let footprint = core::mem::size_of::<Job>() * payload.len(); // EXPECT: unit-suffix
+    let _ = (wait, spent, footprint);
+}
+
+fn fields(started: Instant) -> Sample {
+    Sample {
+        elapsed: started.elapsed().as_micros(), // EXPECT: unit-suffix
+        label: "x",
+    }
+}

@@ -1,0 +1,35 @@
+// Fixture: unit-suffixed (or out-of-scope) bindings that must NOT trip
+// unit-suffix. Never compiled — token-scanned only.
+
+fn suffixed(started: Instant, payload: &[u8]) {
+    let wait_ms = started.elapsed().as_millis();
+    let idle_ns = started.elapsed().as_nanos();
+    let ms = started.elapsed().as_millis();
+    let payload_bytes = core::mem::size_of_val(payload);
+    let _ = (wait_ms, idle_ns, ms, payload_bytes);
+}
+
+fn converted(started: Instant) {
+    // Mixed units in one expression: a conversion, so the scanner skips it.
+    let ratio = started.elapsed().as_nanos() as f64 / WINDOW.as_millis() as f64;
+    // Seconds are deliberately out of scope (routinely rescaled inline).
+    let sorted_us = started.elapsed().as_secs_f64() * 1e6;
+    let _ = (ratio, sorted_us);
+}
+
+fn closure_bodies_are_not_this_binding(sink: &Sink, scope: &Scope) {
+    // The ms value is computed *inside* the spawned closure; the binding
+    // itself holds a JoinHandle.
+    let sampler = scope.spawn(|| {
+        let tick_ms = now().as_millis();
+        sink.tick(tick_ms);
+    });
+    let _ = sampler;
+}
+
+fn fields(started: Instant) -> Sample {
+    Sample {
+        elapsed_us: started.elapsed().as_micros(),
+        label: "x",
+    }
+}

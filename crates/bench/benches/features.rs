@@ -48,16 +48,16 @@ fn bench_feature_vectors(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("feature_construction");
     group.bench_function("baseline_full_A_E_C", |b| {
-        b.iter(|| black_box(full.extract(black_box(&state), now, &ctx)))
+        b.iter(|| black_box(full.extract(black_box(&state), now, &ctx)));
     });
     group.bench_function("baseline_contextual_only", |b| {
-        b.iter(|| black_box(contextual.extract(black_box(&state), now, &ctx)))
+        b.iter(|| black_box(contextual.extract(black_box(&state), now, &ctx)));
     });
     group.bench_function("rnn_predict_input", |b| {
-        b.iter(|| black_box(rnn.predict_input(now, &ctx, 3_600)))
+        b.iter(|| black_box(rnn.predict_input(now, &ctx, 3_600)));
     });
     group.bench_function("rnn_update_input", |b| {
-        b.iter(|| black_box(rnn.update_input(now, &ctx, 3_600, true)))
+        b.iter(|| black_box(rnn.update_input(now, &ctx, 3_600, true)));
     });
     group.finish();
 }
@@ -74,11 +74,11 @@ fn bench_aggregation_maintenance(c: &mut Criterion) {
         b.iter(|| {
             ts += 600;
             state.record(ts, &ctx, ts % 5 == 0);
-        })
+        });
     });
     let (state, now) = warmed_state();
     group.bench_function("query_window_counts", |b| {
-        b.iter(|| black_box(state.window_counts(now, &ctx)))
+        b.iter(|| black_box(state.window_counts(now, &ctx)));
     });
     group.finish();
 }

@@ -60,19 +60,19 @@ fn bench_prediction_latency(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("prediction_latency");
     group.bench_function("percentage", |b| {
-        b.iter(|| black_box(pct.predict(black_box(40), black_box(7))))
+        b.iter(|| black_box(pct.predict(black_box(40), black_box(7))));
     });
     group.bench_function("logistic_regression", |b| {
-        b.iter(|| black_box(lr.predict(black_box(&features))))
+        b.iter(|| black_box(lr.predict(black_box(&features))));
     });
     group.bench_function("gbdt_60_trees", |b| {
-        b.iter(|| black_box(gbdt.predict(black_box(&features))))
+        b.iter(|| black_box(gbdt.predict(black_box(&features))));
     });
     group.bench_function("rnn_predict_128d", |b| {
-        b.iter(|| black_box(rnn.predict_proba(black_box(&state), black_box(&predict_input))))
+        b.iter(|| black_box(rnn.predict_proba(black_box(&state), black_box(&predict_input))));
     });
     group.bench_function("rnn_update_128d", |b| {
-        b.iter(|| black_box(rnn.advance_state(black_box(&state), black_box(&update_input))))
+        b.iter(|| black_box(rnn.advance_state(black_box(&state), black_box(&update_input))));
     });
     group.finish();
 }
@@ -95,7 +95,7 @@ fn bench_feature_assembly_vs_hidden_lookup(c: &mut Criterion) {
         b.iter(|| {
             let bytes = store.get("hidden/user-1").unwrap();
             black_box(decode_state_f32(&bytes))
-        })
+        });
     });
     group.bench_function("baseline_20_aggregation_lookups", |b| {
         b.iter(|| {
@@ -105,7 +105,7 @@ fn bench_feature_assembly_vs_hidden_lookup(c: &mut Criterion) {
                 total += decode_state_f32(&bytes)[0];
             }
             black_box(total)
-        })
+        });
     });
     group.finish();
 }
@@ -130,7 +130,7 @@ fn bench_hidden_dim_scaling(c: &mut Criterion) {
         };
         let input = model.featurizer().predict_input(1_000, &ctx, 600);
         group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, _| {
-            b.iter(|| black_box(model.predict_proba(black_box(&state), black_box(&input))))
+            b.iter(|| black_box(model.predict_proba(black_box(&state), black_box(&input))));
         });
     }
     group.finish();

@@ -43,7 +43,7 @@ fn bench_rnn_training_parallelism(c: &mut Criterion) {
                     ..Default::default()
                 });
                 black_box(trainer.train(&mut model, &ds, &idx))
-            })
+            });
         });
     }
     group.finish();
@@ -72,7 +72,7 @@ fn bench_gbdt_training(c: &mut Criterion) {
                     ..Default::default()
                 },
             ))
-        })
+        });
     });
     group.finish();
 }

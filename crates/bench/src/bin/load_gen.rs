@@ -60,6 +60,7 @@
 use pp_bench::{env_or, print_tail_report, section, Scale};
 use pp_data::schema::DatasetKind;
 use pp_data::synth::{MobileTabGenerator, SyntheticGenerator};
+use pp_obs::sync::LockPolicy;
 use pp_rnn::{RnnModel, RnnModelConfig, TaskKind};
 use pp_serving::{
     BatchScheduler, BatchServingEngine, PredictRequest, ShardedStateStore, UpdateRequest,
@@ -193,7 +194,10 @@ fn run_mode(
             let stop = &stop_sampler;
             let sink = &mut *sink;
             scope.spawn(move || {
-                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                // Acquire pairs with the Release store below: the sampler's
+                // final tick must see every client-side write from before
+                // the stop, or the last time-series point under-reports.
+                while !stop.load(std::sync::atomic::Ordering::Acquire) {
                     sink.tick(started.elapsed().as_millis() as i64);
                     std::thread::sleep(Duration::from_millis(20));
                 }
@@ -257,7 +261,7 @@ fn run_mode(
         // folding it in deflates throughput (and trips the overhead gate)
         // on short runs.
         let elapsed = started.elapsed();
-        stop_sampler.store(true, std::sync::atomic::Ordering::Relaxed);
+        stop_sampler.store(true, std::sync::atomic::Ordering::Release);
         if let Some(sampler) = sampler {
             sampler.join().expect("sampler thread panicked");
         }
@@ -267,7 +271,7 @@ fn run_mode(
     drop(engine);
 
     let mut sorted_us: Vec<f64> = latencies.iter().map(|d| d.as_secs_f64() * 1e6).collect();
-    sorted_us.sort_by(|a, b| a.total_cmp(b));
+    sorted_us.sort_by(f64::total_cmp);
     let result = ModeResult {
         mode: mode.to_string(),
         max_batch,
@@ -428,18 +432,14 @@ fn run_eviction_study(
 
 fn main() {
     let scale = Scale::from_env();
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     let concurrency: usize = env_or("PP_CONCURRENCY", 64);
     let default_clients = if cores <= 1 { 1 } else { concurrency.min(8) };
     let clients: usize = env_or("PP_CLIENTS", default_clients);
     let runs: usize = env_or("PP_RUNS", 3);
     let max_batch: usize = env_or("PP_MAX_BATCH", 64);
     let shards: usize = env_or("PP_SHARDS", 16);
-    let default_workers = std::thread::available_parallelism()
-        .map(|n| n.get().min(8))
-        .unwrap_or(4);
+    let default_workers = std::thread::available_parallelism().map_or(4, |n| n.get().min(8));
     let workers: usize = env_or("PP_WORKERS", default_workers);
     let max_requests: usize = env_or("PP_REQUESTS", 60_000);
     let out_path = std::env::var("PP_OUT").unwrap_or_else(|_| "BENCH_serving.json".to_string());
@@ -592,7 +592,7 @@ fn main() {
                     clients,
                     concurrency,
                     batch,
-                    &mut sink.lock().expect("report sink"),
+                    &mut sink.lock_recover(),
                 )
             })
             .max_by(|a, b| a.sessions_per_sec.total_cmp(&b.sessions_per_sec))
@@ -637,8 +637,7 @@ fn main() {
         let base = worker_sweep
             .iter()
             .find(|e| e.workers == 1)
-            .map(|e| e.sessions_per_sec)
-            .unwrap_or(result.sessions_per_sec);
+            .map_or(result.sessions_per_sec, |e| e.sessions_per_sec);
         let entry = WorkerSweepEntry {
             workers: sweep_workers,
             sessions_per_sec: result.sessions_per_sec,
@@ -656,15 +655,15 @@ fn main() {
     let metrics = pp_obs::MetricsRegistry::global().snapshot();
     if pp_obs::is_enabled() {
         let stage = |name: &str| {
-            metrics
-                .histogram(name)
-                .map(|h| {
+            metrics.histogram(name).map_or_else(
+                || "-".to_string(),
+                |h| {
                     format!(
                         "p50 {:>9.0} ns  p99 {:>9.0} ns  (n={})",
                         h.p50, h.p99, h.count
                     )
-                })
-                .unwrap_or_else(|| "-".to_string())
+                },
+            )
         };
         section("metrics (pp-obs)");
         println!("  batch assembly  {}", stage("serving.batch_assembly_ns"));
@@ -731,7 +730,7 @@ fn main() {
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out_path, &json).expect("write benchmark report");
     println!("wrote {out_path}");
-    sink.lock().expect("report sink").summarize();
+    sink.lock_recover().summarize();
 
     let mut failures: Vec<String> = Vec::new();
     if let Ok(required) = std::env::var("PP_REQUIRE_SPEEDUP") {

@@ -599,9 +599,8 @@ fn replay(
         let prefetches = report.outcomes.prefetches_resolved() - h.prefetches_resolved();
         (prefetches > 0).then(|| hits as f64 / prefetches as f64)
     });
-    let within = precision_steady_state
-        .map(|p| (p - sim.target_precision).abs() <= tolerance)
-        .unwrap_or(false);
+    let within =
+        precision_steady_state.is_some_and(|p| (p - sim.target_precision).abs() <= tolerance);
 
     let result = ScenarioResult {
         scenario: name.to_string(),
@@ -714,8 +713,7 @@ fn run_learned_loop(
         scores_and_labels(&trainer.evaluate(&model, dataset, &train_idx, Some(7)));
     let calibrated_threshold =
         PrecomputePolicy::for_target_precision(&scores, &labels, sim.target_precision)
-            .map(|p| p.threshold())
-            .unwrap_or(sim.initial_threshold)
+            .map_or(sim.initial_threshold, |p| p.threshold())
             .clamp(0.01, 0.99);
     // Held-out offline diagnostics: the ceiling the live loop is chasing.
     let (ho_scores, ho_labels) =
@@ -843,8 +841,7 @@ fn run_learned_loop(
 
     let learned_within_tolerance = learned
         .precision_steady_state
-        .map(|p| (p - sim.target_precision).abs() <= tolerance)
-        .unwrap_or(false);
+        .is_some_and(|p| (p - sim.target_precision).abs() <= tolerance);
     LearnedLoopReport {
         train_users,
         serve_users: serve_idx.len(),
@@ -1274,7 +1271,7 @@ fn run_mixed_traffic(scale: &Scale, sim: &SimConfig, sink: &mut ReportSink) -> M
         costs: Activity::ALL.iter().map(|&a| costs[a]).collect(),
         floors: Activity::ALL.iter().map(|&a| floors[a]).collect(),
         drr_weights: Activity::ALL.iter().map(|&a| drr_weights[a]).collect(),
-        best_static_name: best_static.name.to_string(),
+        best_static_name: best_static.name.clone(),
         best_static_hits: best_static.total_hits,
         shared_hits_guaranteed_share: guaranteed.total_hits,
         shared_beats_best_static: guaranteed.total_hits >= best_static.total_hits,
@@ -1556,15 +1553,15 @@ fn main() {
     let metrics = pp_obs::MetricsRegistry::global().snapshot();
     if pp_obs::is_enabled() {
         let stage = |name: &str| {
-            metrics
-                .histogram(name)
-                .map(|h| {
+            metrics.histogram(name).map_or_else(
+                || "-".to_string(),
+                |h| {
                     format!(
                         "p50 {:>9.0} ns  p99 {:>9.0} ns  (n={})",
                         h.p50, h.p99, h.count
                     )
-                })
-                .unwrap_or_else(|| "-".to_string())
+                },
+            )
         };
         section("metrics (pp-obs)");
         println!("  admission       {}", stage("precompute.admission_ns"));

@@ -296,12 +296,12 @@ impl Dataset {
 
     /// Total number of sessions across all users.
     pub fn num_sessions(&self) -> usize {
-        self.users.iter().map(|u| u.len()).sum()
+        self.users.iter().map(UserHistory::len).sum()
     }
 
     /// Total number of positive sessions across all users.
     pub fn num_accesses(&self) -> usize {
-        self.users.iter().map(|u| u.num_accesses()).sum()
+        self.users.iter().map(UserHistory::num_accesses).sum()
     }
 
     /// Global positive rate over sessions.

@@ -100,7 +100,11 @@ impl EmpiricalCdf {
 /// Per-user access-rate CDF (Figure 1): fraction of users whose access rate
 /// is at most `x`.
 pub fn access_rate_cdf(dataset: &Dataset, num_points: usize) -> EmpiricalCdf {
-    let rates: Vec<f64> = dataset.users.iter().map(|u| u.access_rate()).collect();
+    let rates: Vec<f64> = dataset
+        .users
+        .iter()
+        .map(super::schema::UserHistory::access_rate)
+        .collect();
     EmpiricalCdf::from_values(&rates, num_points)
 }
 

@@ -316,8 +316,8 @@ mod tests {
         let e = engine();
         let users: Vec<_> = (0..200).map(|_| e.sample_user(&mut rng)).collect();
         let rates: Vec<f64> = users.iter().map(|u| u.sessions_per_day).collect();
-        let min = rates.iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = rates.iter().cloned().fold(0.0, f64::max);
+        let min = rates.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = rates.iter().copied().fold(0.0, f64::max);
         assert!(max / min > 5.0, "expected a wide activity spread");
         let never = users.iter().filter(|u| u.never_accesses).count();
         assert!(

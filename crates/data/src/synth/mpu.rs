@@ -260,7 +260,11 @@ mod tests {
     #[test]
     fn per_user_volume_is_long_tailed() {
         let ds = MpuGenerator::new(small_config()).generate();
-        let mut counts: Vec<usize> = ds.users.iter().map(|u| u.len()).collect();
+        let mut counts: Vec<usize> = ds
+            .users
+            .iter()
+            .map(crate::schema::UserHistory::len)
+            .collect();
         counts.sort_unstable();
         let median = counts[counts.len() / 2];
         let max = *counts.last().unwrap();
@@ -330,8 +334,8 @@ mod tests {
                 .map(|(n, p)| *p as f64 / *n as f64)
                 .collect();
             if rates.len() >= 3 {
-                let min = rates.iter().cloned().fold(f64::INFINITY, f64::min);
-                let max = rates.iter().cloned().fold(0.0, f64::max);
+                let min = rates.iter().copied().fold(f64::INFINITY, f64::min);
+                let max = rates.iter().copied().fold(0.0, f64::max);
                 if max - min > 0.2 {
                     spread_found = true;
                     break;

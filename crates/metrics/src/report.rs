@@ -99,8 +99,10 @@ pub fn format_comparison_table(
             let cell = reports
                 .iter()
                 .find(|r| &r.model == m && &r.dataset == d)
-                .map(|r| format!("{:>12.3}", metric(r)))
-                .unwrap_or_else(|| format!("{:>12}", "-"));
+                .map_or_else(
+                    || format!("{:>12}", "-"),
+                    |r| format!("{:>12.3}", metric(r)),
+                );
             out.push_str(&cell);
         }
         out.push('\n');

@@ -211,7 +211,7 @@ impl GradStore {
     pub fn global_norm(&self) -> f32 {
         self.grads
             .iter()
-            .map(|g| g.squared_norm())
+            .map(super::tensor::Tensor::squared_norm)
             .sum::<f32>()
             .sqrt()
     }

@@ -7,6 +7,7 @@
 //! under sustained pressure the oldest events are dropped (and counted),
 //! never the newest.
 
+use crate::sync::LockPolicy;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::sync::Mutex;
@@ -112,7 +113,7 @@ impl EventLog {
     /// Events currently buffered.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("event ring poisoned").events.len()
+        self.inner.lock_recover().events.len()
     }
 
     /// Whether the ring is empty.
@@ -124,19 +125,19 @@ impl EventLog {
     /// Events dropped to respect the bound (since creation).
     #[must_use]
     pub fn dropped(&self) -> u64 {
-        self.inner.lock().expect("event ring poisoned").dropped
+        self.inner.lock_recover().dropped
     }
 
     /// Total events ever recorded (buffered + drained + dropped).
     #[must_use]
     pub fn recorded(&self) -> u64 {
-        self.inner.lock().expect("event ring poisoned").next_seq
+        self.inner.lock_recover().next_seq
     }
 
     /// Records one event (a no-op in the compiled-out build).
     pub fn record(&self, at: i64, kind: EventKind, label: &str, value: f64) {
         if crate::is_enabled() {
-            let mut ring = self.inner.lock().expect("event ring poisoned");
+            let mut ring = self.inner.lock_recover();
             if ring.events.len() == self.capacity {
                 ring.events.pop_front();
                 ring.dropped += 1;
@@ -156,7 +157,7 @@ impl EventLog {
     /// Empties the ring, returning buffered events oldest-first.
     #[must_use]
     pub fn drain(&self) -> Vec<Event> {
-        let mut ring = self.inner.lock().expect("event ring poisoned");
+        let mut ring = self.inner.lock_recover();
         ring.events.drain(..).collect()
     }
 

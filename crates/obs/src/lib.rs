@@ -16,6 +16,9 @@
 //! * [`registry`] — the global-or-injected [`MetricsRegistry`] handing out
 //!   named metric handles, its serializable [`Snapshot`], and the periodic
 //!   [`Reporter`];
+//! * [`sync`] — the [`LockPolicy`] extension trait naming the workspace's
+//!   mutex poison policies (`lock_or_panic` for engine-critical state,
+//!   `lock_recover` for observability state); **not** feature-gated;
 //! * [`trace`] — the sampled per-request [`Tracer`] (deterministic
 //!   seeded-hash sampling, bounded per-worker [`Span`] buffers), the
 //!   Chrome trace-event exporter [`chrome_trace_json`], and the
@@ -35,6 +38,7 @@
 pub mod events;
 pub mod metrics;
 pub mod registry;
+pub mod sync;
 pub mod trace;
 
 pub use events::{Event, EventKind, EventLog};
@@ -42,6 +46,7 @@ pub use metrics::{Counter, Gauge, Histogram, SpanTimer, Stopwatch};
 pub use registry::{
     CounterSnapshot, GaugeSnapshot, HistogramSnapshot, MetricsRegistry, Reporter, Snapshot,
 };
+pub use sync::LockPolicy;
 pub use trace::{
     chrome_trace_json, tail_report, Span, SpanBuilder, SpanId, Stage, StageTail, TailReport,
     TraceId, Tracer, TracerConfig,

@@ -318,9 +318,9 @@ impl Stopwatch {
     /// Elapsed nanoseconds so far (0 in the compiled-out build).
     #[must_use]
     pub fn elapsed_nanos(self) -> u64 {
-        self.started
-            .map(|s| s.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64)
-            .unwrap_or(0)
+        self.started.map_or(0, |s| {
+            s.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+        })
     }
 }
 

@@ -7,6 +7,7 @@
 
 use crate::events::{EventLog, DEFAULT_EVENT_CAPACITY};
 use crate::metrics::{Counter, Gauge, Histogram};
+use crate::sync::LockPolicy;
 use serde::Serialize;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock};
@@ -61,7 +62,7 @@ impl MetricsRegistry {
     /// The counter named `name`, created on first use.
     #[must_use]
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut counters = self.counters.lock().expect("registry poisoned");
+        let mut counters = self.counters.lock_recover();
         Arc::clone(
             counters
                 .entry(name.to_string())
@@ -72,7 +73,7 @@ impl MetricsRegistry {
     /// The gauge named `name`, created on first use.
     #[must_use]
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        let mut gauges = self.gauges.lock().expect("registry poisoned");
+        let mut gauges = self.gauges.lock_recover();
         Arc::clone(
             gauges
                 .entry(name.to_string())
@@ -83,7 +84,7 @@ impl MetricsRegistry {
     /// The histogram named `name`, created on first use.
     #[must_use]
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        let mut histograms = self.histograms.lock().expect("registry poisoned");
+        let mut histograms = self.histograms.lock_recover();
         Arc::clone(
             histograms
                 .entry(name.to_string())
@@ -102,8 +103,7 @@ impl MetricsRegistry {
     pub fn snapshot(&self) -> Snapshot {
         let counters = self
             .counters
-            .lock()
-            .expect("registry poisoned")
+            .lock_recover()
             .iter()
             .map(|(name, c)| CounterSnapshot {
                 name: name.clone(),
@@ -112,8 +112,7 @@ impl MetricsRegistry {
             .collect();
         let gauges = self
             .gauges
-            .lock()
-            .expect("registry poisoned")
+            .lock_recover()
             .iter()
             .map(|(name, g)| GaugeSnapshot {
                 name: name.clone(),
@@ -122,8 +121,7 @@ impl MetricsRegistry {
             .collect();
         let histograms = self
             .histograms
-            .lock()
-            .expect("registry poisoned")
+            .lock_recover()
             .iter()
             .map(|(name, h)| HistogramSnapshot {
                 name: name.clone(),

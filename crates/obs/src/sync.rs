@@ -1,0 +1,109 @@
+//! Named poison policies for `std::sync::Mutex`.
+//!
+//! `.lock().unwrap()` makes a policy decision — "a panic while holding
+//! this lock is fatal to me too" — without naming it, and scatters that
+//! decision across every call site. This module centralizes the two
+//! policies the workspace actually has, as an extension trait, so call
+//! sites say *which* one they mean and `pp-lint`'s `no-lock-unwrap` rule
+//! can hold the line:
+//!
+//! * [`LockPolicy::lock_or_panic`] — engine-critical state (work
+//!   generation counters, shard job queues, worker signal sequencing).
+//!   Poison means a worker died mid-protocol; the protocol state may be
+//!   torn (a bumped generation whose payload never landed), so propagating
+//!   the panic with context beats limping on.
+//! * [`LockPolicy::lock_recover`] — observability state (metric lanes,
+//!   event rings, span buffers). Instrumentation must never take the
+//!   engine down: a poisoned lane holds at worst a half-recorded sample,
+//!   so recover the guard ([`std::sync::PoisonError::into_inner`]) and
+//!   keep serving.
+//!
+//! This module is deliberately **not** gated on the `enabled` feature:
+//! pp-serving locks engine state through it even in the compiled-out
+//! observability build.
+
+use std::sync::{Mutex, MutexGuard};
+
+/// Extension trait naming the workspace's mutex poison policies.
+///
+/// See the [module docs](self) for when to use which.
+pub trait LockPolicy<T> {
+    /// Locks, escalating poison into a panic that names the lock.
+    ///
+    /// For engine-critical state where a peer thread's panic may have left
+    /// the protected value mid-update: carrying on would act on torn state,
+    /// so fail loudly. `what` names the lock in the panic message.
+    fn lock_or_panic(&self, what: &str) -> MutexGuard<'_, T>;
+
+    /// Locks, recovering the guard from a poisoned mutex.
+    ///
+    /// For observability state where the worst a poisoned lock hides is a
+    /// half-recorded sample: instrumentation is never worth the process.
+    fn lock_recover(&self) -> MutexGuard<'_, T>;
+}
+
+impl<T> LockPolicy<T> for Mutex<T> {
+    fn lock_or_panic(&self, what: &str) -> MutexGuard<'_, T> {
+        // Spelled as a match (not unwrap/expect) so the policy helpers
+        // themselves pass the no-lock-unwrap rule they exist to satisfy.
+        match self.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                drop(poisoned);
+                panic!("{what}: lock poisoned — a thread panicked mid-update, state may be torn")
+            }
+        }
+    }
+
+    fn lock_recover(&self) -> MutexGuard<'_, T> {
+        match self.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn poison(mutex: &Arc<Mutex<u32>>) {
+        let m = Arc::clone(mutex);
+        let _ = std::thread::spawn(move || {
+            let _guard = m.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+    }
+
+    #[test]
+    fn lock_recover_yields_the_inner_value_after_poison() {
+        let mutex = Arc::new(Mutex::new(7u32));
+        poison(&mutex);
+        assert!(mutex.is_poisoned());
+        assert_eq!(*mutex.lock_recover(), 7);
+    }
+
+    #[test]
+    fn lock_or_panic_names_the_lock_in_the_panic() {
+        let mutex = Arc::new(Mutex::new(0u32));
+        poison(&mutex);
+        let m = Arc::clone(&mutex);
+        let err = std::thread::spawn(move || {
+            let _guard = m.lock_or_panic("work_gen");
+        })
+        .join()
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("work_gen"), "panic message was: {msg}");
+    }
+
+    #[test]
+    fn both_policies_behave_normally_unpoisoned() {
+        let mutex = Mutex::new(1u32);
+        *mutex.lock_or_panic("m") += 1;
+        *mutex.lock_recover() += 1;
+        assert_eq!(*mutex.lock().unwrap(), 3);
+    }
+}

@@ -27,6 +27,7 @@
 //! no-op build stays a true no-op. At runtime `PP_TRACE_SAMPLE=0` turns
 //! tracing off entirely; the default samples ~1/64 of users.
 
+use crate::sync::LockPolicy;
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -338,8 +339,7 @@ impl Tracer {
     #[must_use]
     pub fn clock_ns(&self, at: Instant) -> u64 {
         at.checked_duration_since(self.epoch)
-            .map(|d| d.as_nanos().min(u128::from(u64::MAX)) as u64)
-            .unwrap_or(0)
+            .map_or(0, |d| d.as_nanos().min(u128::from(u64::MAX)) as u64)
     }
 
     /// Nanoseconds of "now" on the tracer clock.
@@ -357,7 +357,7 @@ impl Tracer {
             return;
         }
         let lane = &self.lanes[span.worker as usize % LANES];
-        let mut lane = lane.lock().expect("trace lane poisoned");
+        let mut lane = lane.lock_recover();
         if lane.spans.len() >= self.config.lane_capacity {
             drop(lane);
             self.dropped.fetch_add(1, Ordering::Relaxed);
@@ -377,7 +377,7 @@ impl Tracer {
     pub fn len(&self) -> usize {
         self.lanes
             .iter()
-            .map(|l| l.lock().expect("trace lane poisoned").spans.len())
+            .map(|l| l.lock_recover().spans.len())
             .sum()
     }
 
@@ -394,7 +394,7 @@ impl Tracer {
         let mut spans: Vec<Span> = self
             .lanes
             .iter()
-            .flat_map(|l| std::mem::take(&mut l.lock().expect("trace lane poisoned").spans))
+            .flat_map(|l| std::mem::take(&mut l.lock_recover().spans))
             .collect();
         spans.sort_by_key(|s| (s.start_ns, s.span.0));
         spans
@@ -568,7 +568,7 @@ pub fn tail_report(spans: &[Span], sample_every: u64, dropped: u64) -> TailRepor
         .iter()
         .map(|r| r.duration_ns() as f64 / 1_000.0)
         .collect();
-    e2e_us.sort_by(|a, b| a.total_cmp(b));
+    e2e_us.sort_by(f64::total_cmp);
     report.sampled_requests = requests.len() as u64;
     report.e2e_p50_us = percentile_us(&e2e_us, 0.50);
     report.e2e_p90_us = percentile_us(&e2e_us, 0.90);
@@ -621,7 +621,7 @@ pub fn tail_report(spans: &[Span], sample_every: u64, dropped: u64) -> TailRepor
         if durs_us.is_empty() {
             continue;
         }
-        durs_us.sort_by(|a, b| a.total_cmp(b));
+        durs_us.sort_by(f64::total_cmp);
         let sum: f64 = durs_us.iter().sum();
         report.stages.push(StageTail {
             stage: stage.name().to_string(),
@@ -847,8 +847,8 @@ mod tests {
             let pairs = event.as_object().expect("event object");
             let get = |k: &str| pairs.iter().find(|(key, _)| key == k).map(|(_, v)| v);
             assert_eq!(get("ph").and_then(|v| v.as_str()), Some("X"));
-            assert!(get("ts").and_then(|v| v.as_f64()).is_some());
-            assert!(get("dur").and_then(|v| v.as_f64()).unwrap() >= 0.0);
+            assert!(get("ts").and_then(serde::Value::as_f64).is_some());
+            assert!(get("dur").and_then(serde::Value::as_f64).unwrap() >= 0.0);
             assert!(get("name").and_then(|v| v.as_str()).is_some());
         }
         // The request span's ts/dur are in microseconds.

@@ -286,7 +286,10 @@ impl OutcomeTracker {
     /// Number of (score, label) samples awaiting a drain, across all
     /// activities.
     pub fn samples_len(&self) -> usize {
-        self.samples.values().map(|s| s.len()).sum()
+        self.samples
+            .values()
+            .map(std::collections::VecDeque::len)
+            .sum()
     }
 
     /// Number of `activity` (score, label) samples awaiting a drain.

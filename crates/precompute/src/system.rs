@@ -579,7 +579,11 @@ impl PrecomputeSystem {
             budget,
             cache: self.cache.stats(),
             threshold: self.controllers[Activity::MobileTab].threshold(),
-            controller_windows: self.controllers.values().map(|c| c.windows_closed()).sum(),
+            controller_windows: self
+                .controllers
+                .values()
+                .map(super::adaptive::AdaptiveThresholdController::windows_closed)
+                .sum(),
             recalibrations: self.recalibrations.values().sum(),
             recalibration_holds: self.recalibration_holds.values().sum(),
         }

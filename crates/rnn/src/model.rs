@@ -373,8 +373,11 @@ impl RnnModel {
         if states.is_empty() {
             return Vec::new();
         }
-        let state_rows: Vec<&[f32]> = states.iter().map(|s| s.as_ref()).collect();
-        let input_rows: Vec<&[f32]> = update_inputs.iter().map(|u| u.as_ref()).collect();
+        let state_rows: Vec<&[f32]> = states.iter().map(std::convert::AsRef::as_ref).collect();
+        let input_rows: Vec<&[f32]> = update_inputs
+            .iter()
+            .map(std::convert::AsRef::as_ref)
+            .collect();
         for row in &state_rows {
             assert_eq!(row.len(), self.state_dim(), "state length mismatch");
         }
@@ -389,7 +392,7 @@ impl RnnModel {
         let x = Tensor::from_rows(&input_rows);
         self.update_infer(&s, &x)
             .iter_rows()
-            .map(|row| row.to_vec())
+            .map(<[f32]>::to_vec)
             .collect()
     }
 
@@ -416,8 +419,11 @@ impl RnnModel {
         if states.is_empty() {
             return Vec::new();
         }
-        let state_rows: Vec<&[f32]> = states.iter().map(|s| s.as_ref()).collect();
-        let input_rows: Vec<&[f32]> = predict_inputs.iter().map(|p| p.as_ref()).collect();
+        let state_rows: Vec<&[f32]> = states.iter().map(std::convert::AsRef::as_ref).collect();
+        let input_rows: Vec<&[f32]> = predict_inputs
+            .iter()
+            .map(std::convert::AsRef::as_ref)
+            .collect();
         for row in &state_rows {
             assert_eq!(row.len(), self.state_dim(), "state length mismatch");
         }

@@ -20,6 +20,7 @@
 
 use crate::sharded::ShardedStateStore;
 use pp_data::schema::{Context, UserId};
+use pp_obs::sync::LockPolicy;
 use pp_rnn::RnnModel;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashSet, VecDeque};
@@ -465,7 +466,7 @@ struct WorkerSignal {
 
 impl WorkerSignal {
     fn bump(&self) {
-        let mut seq = self.seq.lock().expect("worker signal");
+        let mut seq = self.seq.lock_or_panic("worker signal");
         *seq += 1;
         self.cv.notify_all();
     }
@@ -539,7 +540,7 @@ impl EngineShared {
 
     /// Announce new or newly-claimable work to idle workers.
     fn bump_work_gen(&self) {
-        let mut gen = self.work_gen.lock().expect("work generation");
+        let mut gen = self.work_gen.lock_or_panic("work generation");
         *gen += 1;
         drop(gen);
         self.idle.notify_all();
@@ -676,7 +677,7 @@ impl BatchServingEngine {
             let shard = shared.store.shard_index(job.kind.user_id());
             notify_workers[shared.owner(shard)] = true;
             let queue = &shared.queues[shard];
-            let mut q = queue.jobs.lock().expect("shard queue");
+            let mut q = queue.jobs.lock_or_panic("shard queue");
             q.push_back(job);
             queue.len.store(q.len(), Ordering::Release);
             drop(q);
@@ -684,7 +685,12 @@ impl BatchServingEngine {
             // mid-coalesce, wake it too — the home worker can't drain a
             // claimed queue on its behalf.
             if queue.claimed.load(Ordering::Acquire) {
-                let claimant = queue.claimant.load(Ordering::Relaxed);
+                // Acquire pairs with the claimant Release store in gather:
+                // Relaxed here could read a stale claimant and wake the
+                // wrong worker, leaving the real claimant parked until its
+                // coalescing-window timeout (a tail-latency spike, not a
+                // hang — but the window is the latency budget).
+                let claimant = queue.claimant.load(Ordering::Acquire);
                 if claimant < notify_workers.len() {
                     notify_workers[claimant] = true;
                 }
@@ -920,21 +926,29 @@ fn gather(
             if queue.len.load(Ordering::Acquire) == 0 {
                 continue;
             }
+            // Acquire on failure too: the loser reads the queue state the
+            // winner's claim protects (len, claimant) right after this —
+            // a Relaxed failure load would let those reads be satisfied
+            // from before the winner's Release.
             if queue
                 .claimed
-                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Acquire)
                 .is_err()
             {
                 continue;
             }
-            queue.claimant.store(worker, Ordering::Relaxed);
+            // Release pairs with the Acquire claimant load in enqueue: a
+            // Relaxed store could be observed after `claimed` itself, so
+            // the enqueuer would target whichever worker claimed this
+            // shard *last* cycle and skip waking the current claimant.
+            queue.claimant.store(worker, Ordering::Release);
         }
         let mut drained = 0usize;
         {
             // One lazy clock read per drained queue, shared by every traced
             // job claimed from it (untraced batches never read the clock).
             let mut claim_now: Option<std::time::Instant> = None;
-            let mut q = queue.jobs.lock().expect("shard queue");
+            let mut q = queue.jobs.lock_or_panic("shard queue");
             while batch.jobs.len() < shared.max_batch {
                 let Some(front) = q.front() else { break };
                 if let Some(first) = batch.jobs.first() {
@@ -979,7 +993,7 @@ fn worker_loop(shared: &EngineShared, worker: usize) {
         // Snapshot the work generation BEFORE scanning: an enqueue racing
         // with the scan moves the generation, so the park below falls
         // through instead of sleeping on work it never saw.
-        let gen_before = *shared.work_gen.lock().expect("work generation");
+        let gen_before = *shared.work_gen.lock_or_panic("work generation");
         let mut batch = GatheredBatch {
             jobs: Vec::new(),
             claimed_shards: Vec::new(),
@@ -993,7 +1007,7 @@ fn worker_loop(shared: &EngineShared, worker: usize) {
                 return;
             }
             let parked = std::time::Instant::now();
-            let mut gen = shared.work_gen.lock().expect("work generation");
+            let mut gen = shared.work_gen.lock_or_panic("work generation");
             while *gen == gen_before && !shared.shutdown.load(Ordering::SeqCst) {
                 gen = shared.idle.wait(gen).expect("idle wait");
             }
@@ -1032,12 +1046,12 @@ fn worker_loop(shared: &EngineShared, worker: usize) {
                     // an arrival after the read bumps the sequence and skips
                     // the wait; an arrival before it is picked up by the
                     // gather. Either way nothing is lost.
-                    let seq_before = *signal.seq.lock().expect("worker signal");
+                    let seq_before = *signal.seq.lock_or_panic("worker signal");
                     gather(shared, worker, &mut batch, &mut seen_users);
                     if batch.jobs.len() >= shared.max_batch {
                         break;
                     }
-                    let seq = signal.seq.lock().expect("worker signal");
+                    let seq = signal.seq.lock_or_panic("worker signal");
                     if *seq == seq_before {
                         let _ = signal
                             .cv
@@ -1143,6 +1157,10 @@ fn emit_batch_spans(
     is_update: bool,
 ) {
     use pp_obs::{Span, SpanId, Stage, TraceId};
+    debug_assert!(
+        tracer.enabled(),
+        "span emission must be trace-gated by the caller"
+    );
     let batch_id = tracer.next_batch_id();
     let worker = worker as u32;
     let done_ns = tracer.now_ns();

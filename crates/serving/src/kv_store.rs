@@ -306,8 +306,8 @@ pub struct QuantizedState {
 impl QuantizedState {
     /// Quantizes a state vector to 8 bits per dimension.
     pub fn quantize(state: &[f32]) -> Self {
-        let min = state.iter().cloned().fold(f32::INFINITY, f32::min);
-        let max = state.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let min = state.iter().copied().fold(f32::INFINITY, f32::min);
+        let max = state.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let (min, max) = if state.is_empty() || !min.is_finite() {
             (0.0, 0.0)
         } else {

@@ -128,7 +128,7 @@ impl<'a> ServingPipeline<'a> {
 
     /// Number of sessions still buffered waiting for their window to close.
     pub fn pending_sessions(&self) -> usize {
-        self.timers.values().map(|v| v.len()).sum()
+        self.timers.values().map(std::vec::Vec::len).sum()
     }
 
     fn fire_timers_up_to(&mut self, now: i64) {
@@ -148,8 +148,7 @@ impl<'a> ServingPipeline<'a> {
         let prev_state = self
             .store
             .get(&key)
-            .map(|b| decode_state_f32(&b))
-            .unwrap_or_else(|| self.model.initial_state());
+            .map_or_else(|| self.model.initial_state(), |b| decode_state_f32(&b));
         let prev_ts = self.last_update_ts.get(&buffered.user_id).copied();
         let delta_t = prev_ts.map_or(0, |t| (buffered.start_ts - t).max(0));
         // The update input needs the original context; we fetch it lazily via
@@ -200,8 +199,7 @@ impl<'a> ServingPipeline<'a> {
             let state = self
                 .store
                 .get(&key)
-                .map(|b| decode_state_f32(&b))
-                .unwrap_or_else(|| self.model.initial_state());
+                .map_or_else(|| self.model.initial_state(), |b| decode_state_f32(&b));
             let last_ts = self.last_update_ts.get(&user_id).copied();
             let elapsed = last_ts.map_or(0, |t| (ts - t).max(0));
             let predict_input =

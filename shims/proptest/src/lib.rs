@@ -70,9 +70,12 @@ macro_rules! proptest {
                 #[allow(clippy::redundant_closure_call)]
                 let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
                     (|| { $body ::std::result::Result::Ok(()) })();
+                // A rejected sample just moves on to the next case; the
+                // match stays exhaustive so a new TestCaseError variant is
+                // a compile error here rather than a silently skipped case.
                 match __outcome {
-                    ::std::result::Result::Ok(()) => {}
-                    ::std::result::Result::Err($crate::TestCaseError::Reject) => continue,
+                    ::std::result::Result::Ok(())
+                    | ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
                 }
             }
         }
